@@ -1,0 +1,109 @@
+// Command hnmtool inspects the revised metric itself: the per-line-type
+// parameter tables (§4.2-§4.4), the cost curves, and an interactive-style
+// trace of the Figure 3 pipeline against a synthetic utilization schedule.
+//
+//	hnmtool                # the parameter table for all eight line types
+//	hnmtool -curves        # cost-vs-utilization samples per line type
+//	hnmtool -trace 0,0.3,0.8,0.95,0.95,0.2,0   # drive one module
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+	"repro/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hnmtool: ")
+	var (
+		curves = flag.Bool("curves", false, "print cost-vs-utilization samples per line type")
+		trace  = flag.String("trace", "", "comma-separated utilizations to drive a 56T module with")
+		kind   = flag.String("line", "56T", "line type for -trace (9.6T, 9.6S, 19.2T, 50T, 56T, 56S, 112T, 112S)")
+	)
+	flag.Parse()
+
+	switch {
+	case *trace != "":
+		runTrace(*kind, *trace)
+	case *curves:
+		printCurves()
+	default:
+		printTable()
+	}
+}
+
+var kinds = map[string]topology.LineType{
+	"9.6T": topology.T9_6, "9.6S": topology.S9_6, "19.2T": topology.T19_2,
+	"50T": topology.T50, "56T": topology.T56, "56S": topology.S56,
+	"112T": topology.T112, "112S": topology.S112,
+}
+
+func printTable() {
+	fmt.Println("HN-SPF parameter table (routing units; reconstruction of §4.2-§4.4)")
+	fmt.Printf("%-6s %9s %5s %5s %6s %6s %7s %7s %9s\n",
+		"line", "bandwidth", "min", "max", "ramp@", "ramp→", "max-up", "max-dn", "minchange")
+	for _, name := range []string{"9.6T", "9.6S", "19.2T", "50T", "56T", "56S", "112T", "112S"} {
+		lt := kinds[name]
+		p := core.DefaultParams(lt)
+		fmt.Printf("%-6s %9.0f %5.0f %5.0f %5.0f%% %5.0f%% %7.0f %7.0f %9.0f\n",
+			name, lt.Bandwidth(), p.MinCost, p.MaxCost,
+			p.RampStart*100, p.RampEnd*100,
+			p.MaxIncrease(), p.MaxDecrease(), p.MinChange())
+	}
+	fmt.Println()
+	fmt.Println("Floors with default propagation delay (satellite lines pay the")
+	fmt.Println("slowly-increasing propagation term of §4.2, one unit per 10 ms):")
+	for _, name := range []string{"56T", "56S", "9.6T", "9.6S"} {
+		lt := kinds[name]
+		m := core.NewModule(lt, lt.DefaultPropDelay())
+		fmt.Printf("  %-6s floor %5.1f  ceiling %5.1f  (%.0f ms propagation)\n",
+			name, m.Floor(), m.Ceiling(), lt.DefaultPropDelay()*1000)
+	}
+}
+
+func printCurves() {
+	fmt.Println("HN-SPF cost (routing units) by utilization")
+	names := []string{"9.6T", "9.6S", "56T", "56S", "112T"}
+	fmt.Printf("%-6s", "util")
+	for _, n := range names {
+		fmt.Printf(" %7s", n)
+	}
+	fmt.Println()
+	for u := 0.0; u <= 0.951; u += 0.05 {
+		fmt.Printf("%-6.2f", u)
+		for _, n := range names {
+			lt := kinds[n]
+			m := core.NewModule(lt, lt.DefaultPropDelay())
+			fmt.Printf(" %7.1f", m.RawCost(u))
+		}
+		fmt.Println()
+	}
+}
+
+func runTrace(kindName, schedule string) {
+	lt, ok := kinds[kindName]
+	if !ok {
+		log.Fatalf("unknown line type %q", kindName)
+	}
+	m := core.NewModule(lt, lt.DefaultPropDelay())
+	s := queueing.ServiceTime(lt.Bandwidth())
+	fmt.Printf("driving a %s module (floor %.1f, ceiling %.1f) through a utilization schedule\n",
+		kindName, m.Floor(), m.Ceiling())
+	fmt.Printf("%-8s %6s %12s %10s %8s\n", "period", "util", "delay(ms)", "cost", "update")
+	for i, f := range strings.Split(schedule, ",") {
+		u, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || u < 0 || u >= 1 {
+			log.Fatalf("bad utilization %q (want [0,1))", f)
+		}
+		d := queueing.MM1Delay(s, u)
+		cost, rep := m.Update(d)
+		fmt.Printf("%-8d %6.2f %12.2f %10.1f %8v\n", i+1, u, d*1000, cost, rep)
+	}
+}

@@ -1,0 +1,68 @@
+package arpanet_test
+
+import (
+	"fmt"
+
+	arpanet "repro"
+)
+
+// The revised metric as a standalone component: a freshly installed
+// 56 kb/s line advertises its ceiling and eases in; under load it climbs
+// in bounded half-hop steps.
+func ExampleLinkMetric() {
+	m := arpanet.NewLinkMetric(arpanet.T56, 0) // zero propagation delay
+	fmt.Printf("fresh: %.0f units\n", m.Cost())
+	for i := 0; i < 4; i++ {
+		cost, _ := m.Update(0.0107) // ≈ idle measured delay
+		fmt.Printf("idle period %d: %.0f\n", i+1, cost)
+	}
+	// Output:
+	// fresh: 90 units
+	// idle period 1: 75
+	// idle period 2: 60
+	// idle period 3: 45
+	// idle period 4: 30
+}
+
+// The Figure 4 metric curves: how each metric prices a 56 kb/s line by
+// utilization, normalized to hops.
+func ExampleMetricCurve() {
+	for _, u := range []float64{0.0, 0.5, 0.75, 0.95} {
+		fmt.Printf("u=%.2f  HN-SPF %.2f hops, D-SPF %.2f hops\n",
+			u,
+			arpanet.MetricCurve(arpanet.HNSPF, arpanet.T56, 0, u),
+			arpanet.MetricCurve(arpanet.DSPF, arpanet.T56, 0, u))
+	}
+	// Output:
+	// u=0.00  HN-SPF 1.00 hops, D-SPF 1.00 hops
+	// u=0.50  HN-SPF 1.00 hops, D-SPF 2.00 hops
+	// u=0.75  HN-SPF 2.25 hops, D-SPF 4.00 hops
+	// u=0.95  HN-SPF 3.00 hops, D-SPF 20.00 hops
+}
+
+// Building a custom network with the public API.
+func ExampleNewTopology() {
+	topo := arpanet.NewTopology()
+	topo.AddNode("LEFT")
+	topo.AddNode("RIGHT")
+	topo.AddTrunk("LEFT", "RIGHT", arpanet.S56, -1) // default satellite delay
+	fmt.Println(topo.NumNodes(), "nodes,", topo.NumTrunks(), "trunk")
+	fmt.Println(topo.Trunks()[0])
+	// Output:
+	// 2 nodes, 1 trunk
+	// LEFT-RIGHT (56S)
+}
+
+// The §5 analytic model: how much traffic the average link keeps as its
+// reported cost rises (the Network Response Map of Figure 8).
+func ExampleAnalysis_Response() {
+	topo := arpanet.Arpanet1987()
+	a := arpanet.NewAnalysis(topo, topo.GravityTraffic(arpanet.ArpanetWeights(), 400_000))
+	for _, w := range []float64{1, 2, 4} {
+		fmt.Printf("report %.0f hop(s) -> keep %.0f%%\n", w, 100*a.Response(w))
+	}
+	// Output:
+	// report 1 hop(s) -> keep 100%
+	// report 2 hop(s) -> keep 50%
+	// report 4 hop(s) -> keep 10%
+}

@@ -1,0 +1,55 @@
+// Equilibrium: the paper's §5 analytic model, end to end. It builds the
+// Network Response Map of the "average link" for the ARPANET-like
+// topology, solves the cost/traffic fixed point for each metric across
+// offered loads (Figures 9-10), and traces the cobweb dynamics that make
+// D-SPF meta-stable and HN-SPF bounded (Figures 11-12).
+//
+//	go run ./examples/equilibrium
+package main
+
+import (
+	"fmt"
+
+	arpanet "repro"
+)
+
+func main() {
+	topo := arpanet.Arpanet1987()
+	tm := topo.GravityTraffic(arpanet.ArpanetWeights(), 400_000)
+	a := arpanet.NewAnalysis(topo, tm)
+
+	fmt.Println("Network response of the average link (Figure 8):")
+	for _, w := range []float64{1, 1.5, 2, 3, 4, 6, 8} {
+		fmt.Printf("  report %.1f hops -> keep %5.1f%% of base traffic\n", w, 100*a.Response(w))
+	}
+	fmt.Printf("  average cost to shed a route: %.1f hops; %0.f hops sheds everything\n\n",
+		a.MeanShedCost(), a.MaxShedCost()+1)
+
+	fmt.Println("Equilibrium link utilization vs offered load (Figure 10):")
+	fmt.Println("  offered   min-hop   HN-SPF   D-SPF")
+	for _, f := range []float64{0.5, 1.0, 1.5, 2.0, 3.0} {
+		_, uh := a.Equilibrium(arpanet.HNSPF, arpanet.T56, f)
+		_, ud := a.Equilibrium(arpanet.DSPF, arpanet.T56, f)
+		um := min(f, 1)
+		fmt.Printf("  %6.1f %9.2f %8.2f %7.2f\n", f, um, uh, ud)
+	}
+	fmt.Println()
+
+	fmt.Println("Dynamics at 100% offered load (Figures 11-12):")
+	eq, _ := a.Equilibrium(arpanet.DSPF, arpanet.T56, 1.0)
+	near := a.Cobweb(arpanet.DSPF, arpanet.T56, 1.0, eq, 40)
+	far := a.Cobweb(arpanet.DSPF, arpanet.T56, 1.0, eq+1.5, 40)
+	hn := a.Cobweb(arpanet.HNSPF, arpanet.T56, 1.0, 3, 40)
+	fmt.Printf("  D-SPF from its equilibrium (%.2f hops): amplitude %.2f (meta-stable)\n",
+		eq, arpanet.CobwebAmplitude(near))
+	fmt.Printf("  D-SPF perturbed:                        amplitude %.2f (unbounded swing)\n",
+		arpanet.CobwebAmplitude(far))
+	fmt.Printf("  HN-SPF from its maximum:                amplitude %.2f (bounded)\n",
+		arpanet.CobwebAmplitude(hn))
+
+	fmt.Println()
+	fmt.Println("Easing in a new link under light load (Figure 12):")
+	for _, p := range a.Cobweb(arpanet.HNSPF, arpanet.T56, 0.3, 3, 6) {
+		fmt.Printf("  period %d: cost %.2f hops, utilization %.2f\n", p.Period, p.Cost, p.Utilization)
+	}
+}

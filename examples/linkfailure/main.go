@@ -1,0 +1,55 @@
+// Linkfailure: routing around a down trunk, and the §5.4 "ease-in" when
+// it returns. HN-SPF "retains many desirable features of SPF, such as
+// dynamically routing around down lines" — and adds one of its own: a
+// recovered link re-advertises its *maximum* cost and pulls traffic back
+// a little at a time, so the new capacity cannot knock neighboring links
+// out of their equilibria.
+//
+//	go run ./examples/linkfailure
+package main
+
+import (
+	"fmt"
+
+	arpanet "repro"
+)
+
+func main() {
+	// The cross-country trunk UTAH-COLLINS is one of three east-west
+	// links; fail it during the run and watch its neighbors.
+	topo := arpanet.Arpanet1987()
+	tm := topo.GravityTraffic(arpanet.ArpanetWeights(), 250_000)
+	sim := arpanet.NewSimulation(topo, tm, arpanet.SimConfig{
+		Metric: arpanet.HNSPF, Seed: 1987, WarmupSeconds: 60,
+	})
+
+	failed := sim.TrackTrunk("UTAH", "COLLINS")
+	sibling := sim.TrackTrunk("SRI", "WISC") // parallel east-west trunk
+
+	sim.FailTrunkAt(200, "UTAH", "COLLINS")
+	sim.RestoreTrunkAt(400, "UTAH", "COLLINS")
+
+	fmt.Println("t(s)   UTAH-COLLINS util   SRI-WISC util   UTAH-COLLINS cost")
+	for _, checkpoint := range []float64{150, 250, 350, 401, 450, 600} {
+		sim.RunSeconds(checkpoint)
+		fmt.Printf("%4.0f %15.2f %15.2f %16.1f\n",
+			checkpoint, lastY(failed), lastY(sibling), sim.TrunkCost("UTAH", "COLLINS"))
+	}
+
+	r := sim.Report()
+	fmt.Println()
+	fmt.Printf("delivered ratio across the outage: %.4f (no-route drops: %d)\n",
+		r.DeliveredRatio, r.NoRouteDrops)
+	fmt.Println()
+	fmt.Println("While the trunk is down its traffic shifts to the remaining east-")
+	fmt.Println("west links. At t=400 it returns at cost 90 (three hops) and the")
+	fmt.Println("cost walks down one movement-limit per 10-second period — the")
+	fmt.Println("gradual ease-in of Figure 12 — instead of yanking every route back.")
+}
+
+func lastY(s *arpanet.Series) float64 {
+	if s.Len() == 0 {
+		return 0
+	}
+	return s.Y[s.Len()-1]
+}

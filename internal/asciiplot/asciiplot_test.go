@@ -1,0 +1,89 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func lineSeries(name string, ys ...float64) *stats.Series {
+	s := stats.NewSeries(name)
+	for i, y := range ys {
+		s.Add(float64(i), y)
+	}
+	return s
+}
+
+func TestChartBasics(t *testing.T) {
+	s := lineSeries("ramp", 0, 1, 2, 3, 4)
+	out := Chart("test chart", 40, 10, s)
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "ramp") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing data markers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + x-axis + legend
+	if len(lines) != 1+10+1+1 {
+		t.Errorf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestChartMultipleSeries(t *testing.T) {
+	a := lineSeries("up", 0, 1, 2)
+	b := lineSeries("down", 2, 1, 0)
+	out := Chart("two", 30, 8, a, b)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("each series should get its own marker")
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Error("legend incomplete")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", 30, 8, stats.NewSeries("none"))
+	if !strings.Contains(out, "(no data)") {
+		t.Error("empty chart should say so")
+	}
+	out = Chart("none", 30, 8)
+	if !strings.Contains(out, "(no data)") {
+		t.Error("no-series chart should say so")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	s := lineSeries("flat", 5, 5, 5)
+	out := Chart("flat", 30, 8, s)
+	if !strings.Contains(out, "*") {
+		t.Error("flat series should still render")
+	}
+}
+
+func TestChartPanicsWhenTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny chart should panic")
+		}
+	}()
+	Chart("x", 2, 2, lineSeries("s", 1))
+}
+
+func TestTSV(t *testing.T) {
+	a := lineSeries("a", 1, 2)
+	b := lineSeries("b", 3, 4)
+	out := TSV("hdr", a, b)
+	want := "# hdr\nx\ta\tb\n0\t1\t3\n1\t2\t4\n"
+	if out != want {
+		t.Errorf("TSV = %q, want %q", out, want)
+	}
+	if got := TSV("empty"); !strings.HasPrefix(got, "# empty") {
+		t.Error("empty TSV should still have a header")
+	}
+}

@@ -1,0 +1,170 @@
+// Package bellmanford implements the original 1969 ARPANET routing
+// algorithm (§2.1): a distributed Bellman-Ford in which every node keeps a
+// table of estimated shortest distances to all destinations, exchanges the
+// table with its neighbors every 2/3 second, and uses the instantaneous
+// output-queue length plus a constant as the cost to each neighbor.
+//
+// It exists as the historical baseline: the paper's §2.1 lists its defects
+// — the volatile instantaneous metric, persistent loops under change, and
+// routing oscillations — and the tests demonstrate them. The engine is a
+// synchronous round-based model (one round = one 2/3-second exchange),
+// which is all the published analysis needs.
+package bellmanford
+
+import (
+	"math"
+
+	"repro/internal/metric"
+	"repro/internal/topology"
+)
+
+// ExchangePeriodSeconds is the table-exchange interval: "These tables were
+// exchanged between neighbors every 2/3 seconds."
+const ExchangePeriodSeconds = 2.0 / 3.0
+
+// Node is one PSN's distance-vector state.
+type Node struct {
+	id   topology.NodeID
+	dist []float64         // estimated distance to every destination
+	next []topology.LinkID // chosen outgoing link per destination
+}
+
+// Dist returns the node's current distance estimate to dst.
+func (n *Node) Dist(dst topology.NodeID) float64 { return n.dist[dst] }
+
+// NextHop returns the node's chosen outgoing link toward dst
+// (NoLink for itself or unknown destinations).
+func (n *Node) NextHop(dst topology.NodeID) topology.LinkID { return n.next[dst] }
+
+// Network is a synchronous distributed Bellman-Ford engine over a graph.
+// Link costs are supplied per round by a CostFunc — in the 1969 scheme,
+// the instantaneous queue length plus metric.QueueLengthConstant.
+type Network struct {
+	g     *topology.Graph
+	nodes []*Node
+	round int
+}
+
+// New creates the engine with every node knowing only itself.
+func New(g *topology.Graph) *Network {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	nw := &Network{g: g}
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		nd := &Node{
+			id:   topology.NodeID(i),
+			dist: make([]float64, n),
+			next: make([]topology.LinkID, n),
+		}
+		for j := range nd.dist {
+			nd.dist[j] = math.Inf(1)
+			nd.next[j] = topology.NoLink
+		}
+		nd.dist[i] = 0
+		nw.nodes = append(nw.nodes, nd)
+	}
+	return nw
+}
+
+// Node returns the state of one PSN.
+func (nw *Network) Node(id topology.NodeID) *Node { return nw.nodes[id] }
+
+// Rounds returns how many exchange rounds have run.
+func (nw *Network) Rounds() int { return nw.round }
+
+// CostFunc returns the metric cost of a link for the current round —
+// typically queue length + constant via metric.QueueLength.
+type CostFunc func(topology.LinkID) float64
+
+// Step runs one synchronous exchange round: every node receives its
+// neighbors' tables from the *previous* round and recomputes
+//
+//	dist(d) = min over neighbors v of cost(self→v) + distV(d)
+//
+// (the classic distributed Bellman-Ford update). Costs must be positive.
+// It reports whether any node's table changed.
+func (nw *Network) Step(cost CostFunc) bool {
+	nw.round++
+	n := nw.g.NumNodes()
+	changed := false
+	// Snapshot the previous round's tables (synchronous exchange).
+	prev := make([][]float64, n)
+	for i, nd := range nw.nodes {
+		prev[i] = append([]float64(nil), nd.dist...)
+	}
+	for _, nd := range nw.nodes {
+		for d := 0; d < n; d++ {
+			if topology.NodeID(d) == nd.id {
+				continue
+			}
+			best := math.Inf(1)
+			bestLink := topology.NoLink
+			for _, l := range nw.g.Out(nd.id) {
+				c := cost(l)
+				if c <= 0 {
+					panic("bellmanford: cost must be positive")
+				}
+				v := nw.g.Link(l).To
+				if est := c + prev[v][d]; est < best {
+					best = est
+					bestLink = l
+				}
+			}
+			if best != nd.dist[d] || bestLink != nd.next[d] {
+				changed = true
+			}
+			nd.dist[d] = best
+			nd.next[d] = bestLink
+		}
+	}
+	return changed
+}
+
+// RunToConvergence steps with a fixed cost function until no table changes
+// or maxRounds is hit, returning the number of rounds used and whether it
+// converged. With static costs distributed Bellman-Ford always converges
+// within (diameter) rounds.
+func (nw *Network) RunToConvergence(cost CostFunc, maxRounds int) (rounds int, converged bool) {
+	for i := 0; i < maxRounds; i++ {
+		if !nw.Step(cost) {
+			return i + 1, true
+		}
+	}
+	return maxRounds, false
+}
+
+// PathLoops reports whether following next-hops from src toward dst
+// revisits a node — the "persistent loops" defect of §2.1. It walks at
+// most n steps.
+func (nw *Network) PathLoops(src, dst topology.NodeID) bool {
+	seen := make(map[topology.NodeID]bool)
+	cur := src
+	for steps := 0; steps <= nw.g.NumNodes(); steps++ {
+		if cur == dst {
+			return false
+		}
+		if seen[cur] {
+			return true
+		}
+		seen[cur] = true
+		l := nw.nodes[cur].next[dst]
+		if l == topology.NoLink {
+			return false // no route is not a loop
+		}
+		cur = nw.g.Link(l).To
+	}
+	return true
+}
+
+// QueueCosts adapts per-link queue lengths into the 1969 cost function.
+func QueueCosts(queueLen func(topology.LinkID) float64) CostFunc {
+	return func(l topology.LinkID) float64 {
+		q := queueLen(l)
+		if q < 0 {
+			q = 0
+		}
+		return q + metric.QueueLengthConstant
+	}
+}

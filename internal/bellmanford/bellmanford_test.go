@@ -1,0 +1,158 @@
+package bellmanford
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metric"
+	"repro/internal/spf"
+	"repro/internal/topology"
+)
+
+func unitCosts(topology.LinkID) float64 { return 1 }
+
+func TestConvergesToShortestPaths(t *testing.T) {
+	g := topology.Ring(6, topology.T56)
+	nw := New(g)
+	rounds, ok := nw.RunToConvergence(unitCosts, 20)
+	if !ok {
+		t.Fatal("did not converge on a 6-ring")
+	}
+	// With static costs it converges within diameter+1 rounds.
+	if rounds > 5 {
+		t.Errorf("converged in %d rounds, want <= 5", rounds)
+	}
+	for s := 0; s < 6; s++ {
+		tree := spf.HopTree(g, topology.NodeID(s))
+		for d := 0; d < 6; d++ {
+			want := tree.Dist(topology.NodeID(d))
+			got := nw.Node(topology.NodeID(s)).Dist(topology.NodeID(d))
+			if got != want {
+				t.Errorf("dist(%d,%d) = %v, want %v", s, d, got, want)
+			}
+		}
+	}
+}
+
+func TestMatchesDijkstraOnWeightedGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		g := topology.Random(10, 2.5, seed)
+		cost := func(l topology.LinkID) float64 { return 1 + float64((uint64(l)*uint64(seed)>>3)%9) }
+		nw := New(g)
+		if _, ok := nw.RunToConvergence(cost, 100); !ok {
+			return false
+		}
+		for s := 0; s < g.NumNodes(); s++ {
+			tree := spf.Compute(g, topology.NodeID(s), cost)
+			for d := 0; d < g.NumNodes(); d++ {
+				if math.Abs(tree.Dist(topology.NodeID(d))-nw.Node(topology.NodeID(s)).Dist(topology.NodeID(d))) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextHopsFormPathsUnderStaticCosts(t *testing.T) {
+	g := topology.Arpanet()
+	nw := New(g)
+	if _, ok := nw.RunToConvergence(unitCosts, 50); !ok {
+		t.Fatal("did not converge")
+	}
+	for s := 0; s < g.NumNodes(); s++ {
+		for d := 0; d < g.NumNodes(); d++ {
+			if nw.PathLoops(topology.NodeID(s), topology.NodeID(d)) {
+				t.Fatalf("loop from %d to %d under static costs", s, d)
+			}
+		}
+	}
+}
+
+func TestVolatileMetricCausesLoops(t *testing.T) {
+	// §2.1: "the distributed Bellman-Ford algorithm... resulted in the
+	// formation of persistent loops in the face of the rapidly changing
+	// link metric." Drive the engine with the 1969 instantaneous
+	// queue-length metric fluctuating randomly each round and count loops.
+	g := topology.Ring(8, topology.T9_6)
+	nw := New(g)
+	nw.RunToConvergence(unitCosts, 20) // start from a converged state
+	r := rand.New(rand.NewSource(3))
+	queue := func(topology.LinkID) float64 { return float64(r.Intn(20)) }
+	loops := 0
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		nw.Step(QueueCosts(queue))
+		for s := 0; s < g.NumNodes(); s++ {
+			for d := 0; d < g.NumNodes(); d++ {
+				if s != d && nw.PathLoops(topology.NodeID(s), topology.NodeID(d)) {
+					loops++
+				}
+			}
+		}
+	}
+	if loops == 0 {
+		t.Error("volatile instantaneous metric should produce transient loops (§2.1)")
+	}
+	t.Logf("loops observed across %d rounds: %d", rounds, loops)
+}
+
+func TestConstantDampsOscillation(t *testing.T) {
+	// §2.1: "the positive constant added to the metric helped to alleviate
+	// this effect". With a larger constant, the same queue fluctuations
+	// produce fewer route changes.
+	count := func(k float64) int {
+		g := topology.Ring(8, topology.T9_6)
+		nw := New(g)
+		nw.RunToConvergence(func(topology.LinkID) float64 { return k }, 50)
+		r := rand.New(rand.NewSource(5))
+		changes := 0
+		for i := 0; i < 100; i++ {
+			if nw.Step(func(l topology.LinkID) float64 { return k + float64(r.Intn(6)) }) {
+				changes++
+			}
+		}
+		return changes
+	}
+	small, large := count(1), count(50)
+	if large > small {
+		t.Errorf("larger constant should not increase instability: k=1 → %d, k=50 → %d", small, large)
+	}
+}
+
+func TestQueueCosts(t *testing.T) {
+	c := QueueCosts(func(topology.LinkID) float64 { return 7 })
+	if got := c(0); got != 7+metric.QueueLengthConstant {
+		t.Errorf("cost = %v", got)
+	}
+	neg := QueueCosts(func(topology.LinkID) float64 { return -5 })
+	if got := neg(0); got != metric.QueueLengthConstant {
+		t.Errorf("negative queue should clamp, got %v", got)
+	}
+}
+
+func TestStepPanicsOnBadCost(t *testing.T) {
+	g := topology.Ring(3, topology.T56)
+	nw := New(g)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive cost should panic")
+		}
+	}()
+	nw.Step(func(topology.LinkID) float64 { return 0 })
+}
+
+func TestRoundsCounter(t *testing.T) {
+	g := topology.Ring(3, topology.T56)
+	nw := New(g)
+	nw.Step(unitCosts)
+	nw.Step(unitCosts)
+	if nw.Rounds() != 2 {
+		t.Errorf("Rounds = %d, want 2", nw.Rounds())
+	}
+}

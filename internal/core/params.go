@@ -1,0 +1,136 @@
+// Package core implements the paper's primary contribution: the revised
+// ARPANET link metric — the Hop-Normalized SPF module (HNM) of Khanna &
+// Zinky, SIGCOMM 1989, §4 and Figure 3.
+//
+// The module transforms a link's measured average delay into the cost
+// reported in routing updates:
+//
+//	Function HN-SPF(Measured_Delay, Line_Type) returns Reported_Cost
+//	  Sample_Utilization  = delay_to_utilization[Measured_Delay]
+//	  Average_Utilization = .5 * Sample_Utilization + .5 * Last_Average
+//	  Last_Average        = Average_Utilization            (stored per link)
+//	  Raw_Cost     = Slope[Line_Type] * Average_Utilization + Offset[Line_Type]
+//	  Limited_Cost = Limit_Movement(Raw_Cost, Last_Reported, Line_Type)
+//	  Revised_Cost = Clip(Limited_Cost, Max[Line_Type], Min[Line_Type])
+//	  Last_Reported = Revised_Cost                         (stored per link)
+//
+// Costs are in routing units; 30 units is one "hop" (the cost of an idle
+// zero-propagation-delay 56 kb/s terrestrial line), and no link may report
+// more than three hops, limiting any link's relative cost to two additional
+// hops in a homogeneous network (§4.2).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// HopCost is the routing cost of one "hop": what an idle zero-propagation
+// 56 kb/s terrestrial line reports (§4.2: "the metric has been divided by
+// 30 routing units for HN-SPF").
+const HopCost = 30.0
+
+// PropCostPerSecond converts a link's configured propagation delay into the
+// slow increase of its lower bound (§4.2: "the lower bound is a slowly
+// increasing function of the configured propagation delay"). One routing
+// unit per 10 ms: a geostationary satellite hop (260 ms) costs 26 extra
+// units — under one extra hop — versus ~49 units under the delay metric.
+const PropCostPerSecond = 100.0
+
+// AveragingWeight is the weight of the new utilization sample in the
+// recursive averaging filter (Figure 3 uses .5/.5).
+const AveragingWeight = 0.5
+
+// LineParams are the per-line-type normalization constants of §4.2-§4.4.
+// The slope/offset of Figure 3's linear transform are derived from them:
+// the cost ramps linearly from MinCost at RampStart utilization to MaxCost
+// at RampEnd utilization, and is flat (MinCost) below RampStart.
+type LineParams struct {
+	// MinCost is the reported cost of an idle line with zero configured
+	// propagation delay, in routing units.
+	MinCost float64
+	// MaxCost is the absolute ceiling, ≈ 3 × MinCost of the terrestrial
+	// zero-propagation line of the same speed (§4.4).
+	MaxCost float64
+	// RampStart is the utilization below which the metric stays at its
+	// floor: "The HN-SPF metric is constant until the utilization gets
+	// above a threshold that depends on the line-type. For example, it is
+	// 50% for a 56 kb/s terrestrial link."
+	RampStart float64
+	// RampEnd is the utilization at which the raw (pre-clip) cost reaches
+	// MaxCost.
+	RampEnd float64
+}
+
+// Slope returns the slope of the Figure 3 linear transform in routing
+// units per unit of utilization.
+func (p LineParams) Slope() float64 {
+	return (p.MaxCost - p.MinCost) / (p.RampEnd - p.RampStart)
+}
+
+// Offset returns the offset of the Figure 3 linear transform.
+func (p LineParams) Offset() float64 {
+	return p.MinCost - p.Slope()*p.RampStart
+}
+
+// MaxIncrease returns the limit on the upward movement of the reported cost
+// between successive updates: "a little more than a half-hop (relative to
+// the minimum value for the line type)" (§4.3).
+func (p LineParams) MaxIncrease() float64 { return math.Round(p.MinCost/2) + 1 }
+
+// MaxDecrease returns the downward movement limit. It is one routing unit
+// less than MaxIncrease, which makes the reported cost march up one unit
+// per oscillation cycle — the §5.4 heuristic that spreads equal-cost lines
+// apart and defeats the epsilon problem.
+func (p LineParams) MaxDecrease() float64 { return p.MaxIncrease() - 1 }
+
+// MinChange returns the significance threshold: a change is reported only
+// if it moves the cost by "a little less than a half-hop" (§4.3).
+func (p LineParams) MinChange() float64 { return math.Round(p.MinCost/2) - 2 }
+
+// DefaultParams returns the parameter set reconstructed from the paper for
+// the given line type. Satellite types share their terrestrial
+// counterpart's table — the satellite penalty enters through the
+// propagation-delay term of the lower bound, which reproduces §4.4 exactly:
+// an idle 56 kb/s satellite (30 + 26 = 56 units) is under 2× its
+// terrestrial counterpart and cheaper than an idle 9.6 kb/s line (71), and
+// the two 56 kb/s curves join at high utilization ("treated equally when
+// highly utilized").
+func DefaultParams(lt topology.LineType) LineParams {
+	switch lt {
+	case topology.T9_6, topology.S9_6:
+		return LineParams{MinCost: 70, MaxCost: 210, RampStart: 0.40, RampEnd: 0.90}
+	case topology.T19_2:
+		return LineParams{MinCost: 55, MaxCost: 165, RampStart: 0.45, RampEnd: 0.90}
+	case topology.T50:
+		return LineParams{MinCost: 32, MaxCost: 96, RampStart: 0.50, RampEnd: 0.90}
+	case topology.T56, topology.S56:
+		return LineParams{MinCost: 30, MaxCost: 90, RampStart: 0.50, RampEnd: 0.90}
+	case topology.T112, topology.S112:
+		return LineParams{MinCost: 22, MaxCost: 66, RampStart: 0.55, RampEnd: 0.90}
+	default:
+		panic(fmt.Sprintf("core: no parameters for line type %v", lt))
+	}
+}
+
+// Validate checks the structural constraints the paper imposes on a
+// parameter set; DefaultParams always passes.
+func (p LineParams) Validate() error {
+	switch {
+	case p.MinCost <= 0:
+		return fmt.Errorf("core: MinCost must be positive, got %v", p.MinCost)
+	case p.MaxCost <= p.MinCost:
+		return fmt.Errorf("core: MaxCost %v must exceed MinCost %v", p.MaxCost, p.MinCost)
+	case p.MaxCost > 3.5*p.MinCost:
+		return fmt.Errorf("core: MaxCost %v exceeds ~3×MinCost (§4.4 rule)", p.MaxCost)
+	case p.RampStart < 0 || p.RampStart >= p.RampEnd || p.RampEnd > 1:
+		return fmt.Errorf("core: invalid ramp [%v, %v]", p.RampStart, p.RampEnd)
+	case p.MinChange() <= 0:
+		return fmt.Errorf("core: MinChange must be positive")
+	case p.MaxIncrease() <= p.MinChange():
+		return fmt.Errorf("core: MaxIncrease must exceed MinChange")
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// Every numeric claim in §4.2-§4.4 about the parameter tables, as tests.
+
+func TestAllLineTypesHaveValidParams(t *testing.T) {
+	for lt := topology.LineType(0); int(lt) < topology.NumLineTypes; lt++ {
+		p := DefaultParams(lt)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v: %v", lt, err)
+		}
+	}
+}
+
+func TestUnknownLineTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DefaultParams on invalid type should panic")
+		}
+	}()
+	DefaultParams(topology.LineType(99))
+}
+
+func Test56kBounds(t *testing.T) {
+	// §4.2: "For a 56 kb/s link the minimum reported cost is 30 units and
+	// the maximum cost is 90 units."
+	p := DefaultParams(topology.T56)
+	if p.MinCost != 30 || p.MaxCost != 90 {
+		t.Errorf("56T bounds = [%v, %v], want [30, 90]", p.MinCost, p.MaxCost)
+	}
+	// §4.2: "it is 50% for a 56 kb/s terrestrial link".
+	if p.RampStart != 0.5 {
+		t.Errorf("56T ramp start = %v, want 0.5", p.RampStart)
+	}
+}
+
+func TestTwoExtraHopsLimit(t *testing.T) {
+	// §4.2: "This limits a link's relative cost to be no greater than two
+	// additional hops in a homogeneous network": max/min = 3 for every
+	// terrestrial type, i.e. max − min ≤ 2 hops where a hop = min.
+	for _, lt := range []topology.LineType{topology.T9_6, topology.T19_2, topology.T50, topology.T56, topology.T112} {
+		p := DefaultParams(lt)
+		if r := p.MaxCost / p.MinCost; r > 3.0+1e-9 {
+			t.Errorf("%v max/min = %v, want <= 3", lt, r)
+		}
+	}
+}
+
+func TestHeterogeneityRatios(t *testing.T) {
+	// §4.4: "a fully utilized 9.6 kb/s line can report a value only about
+	// 7 times greater than that by an idle 56 kb/s line, as opposed to
+	// approximately 127 times with the delay metric."
+	p96 := DefaultParams(topology.T9_6)
+	p56 := DefaultParams(topology.T56)
+	if r := p96.MaxCost / p56.MinCost; math.Abs(r-7) > 0.5 {
+		t.Errorf("full 9.6 / idle 56 = %v, want ~7", r)
+	}
+}
+
+func TestSatelliteRules(t *testing.T) {
+	// §4.4 satellite behaviour, encoded via module floors/ceilings with the
+	// default 260 ms geostationary delay.
+	t56 := NewModule(topology.T56, 0.010)
+	s56 := NewModule(topology.S56, 0.260)
+	t96 := NewModule(topology.T9_6, 0.010)
+
+	// "a 56 kb/s satellite trunk can appear no more than twice as expensive
+	// as its terrestrial counterpart" (same utilization). The widest gap is
+	// at idle.
+	for u := 0.0; u < 1.0; u += 0.05 {
+		ct, cs := t56.RawCost(u), s56.RawCost(u)
+		if cs > 2*ct+1e-9 {
+			t.Errorf("at u=%.2f satellite cost %v > 2× terrestrial %v", u, cs, ct)
+		}
+		if cs < ct-1e-9 {
+			t.Errorf("at u=%.2f satellite cost %v below terrestrial %v", u, cs, ct)
+		}
+	}
+	// "the two are treated equally when highly utilized".
+	if ct, cs := t56.RawCost(0.95), s56.RawCost(0.95); math.Abs(ct-cs) > 1e-9 {
+		t.Errorf("saturated costs differ: terrestrial %v, satellite %v", ct, cs)
+	}
+	// "an idle 56 kb/s satellite line appears more favorable than an idle
+	// 9.6 kb/s line" (terrestrial).
+	if s56.Floor() >= t96.Floor() {
+		t.Errorf("idle 56S floor %v should be below idle 9.6T floor %v",
+			s56.Floor(), t96.Floor())
+	}
+	// Satellite discouraged at light load: floor strictly above terrestrial.
+	if s56.Floor() <= t56.Floor() {
+		t.Error("satellite floor should exceed terrestrial floor")
+	}
+}
+
+func TestMovementLimits(t *testing.T) {
+	// §4.3: up limit "a little more than a half-hop (relative to the
+	// minimum value for the line type)"; §5.4: "The maximum down value is
+	// one unit less than the maximum up value."
+	for lt := topology.LineType(0); int(lt) < topology.NumLineTypes; lt++ {
+		p := DefaultParams(lt)
+		half := p.MinCost / 2
+		if p.MaxIncrease() <= half || p.MaxIncrease() > half+2 {
+			t.Errorf("%v MaxIncrease = %v, want a little more than %v", lt, p.MaxIncrease(), half)
+		}
+		if p.MaxDecrease() != p.MaxIncrease()-1 {
+			t.Errorf("%v MaxDecrease = %v, want MaxIncrease-1", lt, p.MaxDecrease())
+		}
+		// §4.3: threshold "a little less than a half-hop".
+		if p.MinChange() >= half || p.MinChange() < half-3 {
+			t.Errorf("%v MinChange = %v, want a little less than %v", lt, p.MinChange(), half)
+		}
+	}
+}
+
+func TestSlopeOffsetConsistency(t *testing.T) {
+	// The linear transform must pass through (RampStart, MinCost) and
+	// (RampEnd, MaxCost).
+	for lt := topology.LineType(0); int(lt) < topology.NumLineTypes; lt++ {
+		p := DefaultParams(lt)
+		at := func(u float64) float64 { return p.Slope()*u + p.Offset() }
+		if got := at(p.RampStart); math.Abs(got-p.MinCost) > 1e-9 {
+			t.Errorf("%v transform at RampStart = %v, want %v", lt, got, p.MinCost)
+		}
+		if got := at(p.RampEnd); math.Abs(got-p.MaxCost) > 1e-9 {
+			t.Errorf("%v transform at RampEnd = %v, want %v", lt, got, p.MaxCost)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := DefaultParams(topology.T56)
+	cases := map[string]func(*LineParams){
+		"zero min":      func(p *LineParams) { p.MinCost = 0 },
+		"max below min": func(p *LineParams) { p.MaxCost = p.MinCost - 1 },
+		"max too high":  func(p *LineParams) { p.MaxCost = 4 * p.MinCost },
+		"ramp inverted": func(p *LineParams) { p.RampStart = 0.9; p.RampEnd = 0.5 },
+		"ramp past 1":   func(p *LineParams) { p.RampEnd = 1.5 },
+		"tiny min":      func(p *LineParams) { p.MinCost = 2; p.MaxCost = 6 },
+	}
+	for name, mutate := range cases {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, p)
+		}
+	}
+}

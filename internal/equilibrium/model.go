@@ -1,0 +1,291 @@
+// Package equilibrium implements the paper's §5 analysis of SPF behaviour:
+// the per-link shed-cost statistics (Figure 7), the Network Response Map of
+// the "average link" (Figure 8), the metric maps (Figures 4 and 5), the
+// fixed-point equilibrium of reported cost and traffic (Figures 9 and 10),
+// and the cobweb dynamic-behaviour iteration (Figures 11 and 12).
+//
+// The model follows §5.1 exactly: all links except the one under
+// consideration report the same ambient value (one "hop"); for each
+// source-destination route we compute the reported cost (in hops) at which
+// the route moves off the link, with ties always broken in favor of using
+// the link. Aggregating over all links gives the average link's response.
+package equilibrium
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/spf"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Model holds the per-route shed thresholds for every link of a network.
+type Model struct {
+	g *topology.Graph
+	m *traffic.Matrix
+
+	// For each directed link, the routes that use it at ambient cost:
+	// (shed threshold w* in hops, route length in hops, traffic in bps).
+	routes [][]routeStat
+
+	// base traffic per link at ambient cost (bps).
+	base []float64
+}
+
+type routeStat struct {
+	shedAt float64 // largest cost (hops) at which the route still uses the link
+	length int     // route length (hops) through the link at ambient cost
+	rate   float64 // bps
+}
+
+// New builds the model for a topology and traffic matrix. For every
+// directed link L = (u,v) it computes hop distances on the graph without L
+// and derives, per source-destination pair, the threshold
+//
+//	w* = d(s,t | ¬L) − d(s,u | ¬L) − d(v,t | ¬L)
+//
+// — the largest cost of L (in hops) at which the s→t route still crosses L
+// (ties in favor of L). Pairs with w* < 1 never use the link.
+func New(g *topology.Graph, m *traffic.Matrix) *Model {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if m.NumNodes() != g.NumNodes() {
+		panic("equilibrium: matrix size mismatch")
+	}
+	mod := &Model{
+		g:      g,
+		m:      m,
+		routes: make([][]routeStat, g.NumLinks()),
+		base:   make([]float64, g.NumLinks()),
+	}
+	n := g.NumNodes()
+	for li := 0; li < g.NumLinks(); li++ {
+		lid := topology.LinkID(li)
+		link := g.Link(lid)
+		// Hop distances avoiding the directed link L. spf.Compute rejects
+		// infinite costs, so removal is emulated with a cost larger than
+		// any simple path; clean() maps such distances back to +Inf.
+		huge := float64(10 * n)
+		avoidCost := func(other topology.LinkID) float64 {
+			if other == lid {
+				return huge
+			}
+			return 1
+		}
+		// Distances from every source with L removed: one Dijkstra per
+		// source is fine at ARPANET scale.
+		distFrom := make([]*spf.Tree, n)
+		for s := 0; s < n; s++ {
+			distFrom[s] = spf.Compute(g, topology.NodeID(s), avoidCost)
+		}
+		toU := make([]float64, n) // d(s, u | ¬L)
+		for s := 0; s < n; s++ {
+			toU[s] = clean(distFrom[s].Dist(link.From), huge)
+		}
+		fromV := distFrom[link.To] // d(v, t | ¬L)
+
+		for s := 0; s < n; s++ {
+			for t := 0; t < n; t++ {
+				if s == t {
+					continue
+				}
+				rate := m.Rate(topology.NodeID(s), topology.NodeID(t))
+				if rate <= 0 {
+					continue
+				}
+				dst := clean(distFrom[s].Dist(topology.NodeID(t)), huge)
+				a := toU[s] + clean(fromV.Dist(topology.NodeID(t)), huge)
+				if math.IsInf(dst, 1) && math.IsInf(a, 1) {
+					continue
+				}
+				wstar := dst - a
+				if wstar < 1 {
+					continue // never uses the link
+				}
+				mod.routes[li] = append(mod.routes[li], routeStat{
+					shedAt: wstar,
+					length: int(a) + 1,
+					rate:   rate,
+				})
+				mod.base[li] += rate
+			}
+		}
+		sort.Slice(mod.routes[li], func(a, b int) bool {
+			return mod.routes[li][a].shedAt < mod.routes[li][b].shedAt
+		})
+	}
+	return mod
+}
+
+// clean converts path lengths that had to route over the "removed" link
+// back to +Inf.
+func clean(d, huge float64) float64 {
+	if d >= huge {
+		return math.Inf(1)
+	}
+	return d
+}
+
+// ShedStat is one row of Figure 7: for routes of a given length, the
+// reported cost (hops) needed to shed them.
+type ShedStat struct {
+	RouteLength int
+	Mean        float64
+	StdDev      float64
+	Min         float64
+	Max         float64
+	Count       int64
+}
+
+// ShedCosts aggregates, per route length, the reported cost needed to shed
+// each route (w* + 1: the first integer cost at which the route leaves,
+// given ties favor the link) — Figure 7. Lengths with no routes are
+// omitted; results are sorted by length.
+func (mo *Model) ShedCosts() []ShedStat {
+	byLen := map[int]*stats.Welford{}
+	for _, rs := range mo.routes {
+		for _, r := range rs {
+			w := byLen[r.length]
+			if w == nil {
+				w = &stats.Welford{}
+				byLen[r.length] = w
+			}
+			w.Add(r.shedAt + 1)
+		}
+	}
+	lengths := make([]int, 0, len(byLen))
+	for l := range byLen {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	out := make([]ShedStat, 0, len(lengths))
+	for _, l := range lengths {
+		w := byLen[l]
+		out = append(out, ShedStat{
+			RouteLength: l,
+			Mean:        w.Mean(),
+			StdDev:      w.StdDev(),
+			Min:         w.Min(),
+			Max:         w.Max(),
+			Count:       w.N(),
+		})
+	}
+	return out
+}
+
+// MeanShedCost returns the average reported cost needed to shed a route,
+// over all routes of all links (the paper: "The average reported cost
+// needed to shed all routes is four hops").
+func (mo *Model) MeanShedCost() float64 {
+	var w stats.Welford
+	for _, rs := range mo.routes {
+		for _, r := range rs {
+			w.Add(r.shedAt + 1)
+		}
+	}
+	return w.Mean()
+}
+
+// Response returns the Network Response Map (Figure 8): the traffic
+// remaining on the average link when it reports cost w (in hops),
+// normalized so the ambient-cost traffic is 1.
+//
+// A single link's response is a staircase: a route with threshold w* stays
+// through cost w* (ties in favor) and is gone at w*+1. Individual links
+// differ from the "average link" (§5.2), so the aggregate curve the paper
+// plots is smooth; we model that by shedding each route linearly between
+// w* and w*+1, which matches the staircase at every integer and half-
+// integer point of Figure 8 (Response(1.5) is exactly midway between "all
+// ties kept at cost 1" and "all ties lost at cost 2") and keeps the map
+// continuous so the §5.3 fixed point is well-defined.
+func (mo *Model) Response(w float64) float64 {
+	var remain, base float64
+	for li, rs := range mo.routes {
+		base += mo.base[li]
+		for _, r := range rs {
+			keep := r.shedAt + 1 - w
+			if keep >= 1 {
+				remain += r.rate
+			} else if keep > 0 {
+				remain += r.rate * keep
+			}
+		}
+	}
+	if base == 0 {
+		return 0
+	}
+	return remain / base
+}
+
+// ResponseSeries samples the response map over [1, wMax] at the given
+// step, for plotting.
+func (mo *Model) ResponseSeries(wMax, step float64) *stats.Series {
+	s := stats.NewSeries("network response")
+	for w := 1.0; w <= wMax+1e-9; w += step {
+		s.Add(w, mo.Response(w))
+	}
+	return s
+}
+
+// LinkResponse is Response restricted to one link: the fraction of ITS
+// base traffic it keeps at reported cost w. §5.2: "The characteristics of
+// individual links differ from the 'average' link"; this exposes that
+// spread. Links with no base traffic return 0.
+func (mo *Model) LinkResponse(l topology.LinkID, w float64) float64 {
+	if mo.base[l] == 0 {
+		return 0
+	}
+	var remain float64
+	for _, r := range mo.routes[l] {
+		keep := r.shedAt + 1 - w
+		if keep >= 1 {
+			remain += r.rate
+		} else if keep > 0 {
+			remain += r.rate * keep
+		}
+	}
+	return remain / mo.base[l]
+}
+
+// ResponseSpread returns the per-link spread of the response at cost w:
+// mean, standard deviation, min and max of LinkResponse over links that
+// carry base traffic.
+func (mo *Model) ResponseSpread(w float64) stats.Welford {
+	var agg stats.Welford
+	for l := range mo.routes {
+		if mo.base[l] > 0 {
+			agg.Add(mo.LinkResponse(topology.LinkID(l), w))
+		}
+	}
+	return agg
+}
+
+// MaxShedCost returns the largest shed threshold over all routes — the
+// cost beyond which the average link is guaranteed bare ("if a link
+// reports more than eight hops, then it will shed all of its routes").
+func (mo *Model) MaxShedCost() float64 {
+	max := 0.0
+	for _, rs := range mo.routes {
+		for _, r := range rs {
+			if r.shedAt > max {
+				max = r.shedAt
+			}
+		}
+	}
+	return max
+}
+
+// BaseTraffic returns the ambient-cost traffic of link l in bps.
+func (mo *Model) BaseTraffic(l topology.LinkID) float64 { return mo.base[l] }
+
+// MeanBaseTraffic returns the ambient-cost traffic of the average link.
+func (mo *Model) MeanBaseTraffic() float64 {
+	sum := 0.0
+	for _, b := range mo.base {
+		sum += b
+	}
+	return sum / float64(len(mo.base))
+}

@@ -1,0 +1,628 @@
+// Package network assembles the complete ARPANET model on top of the
+// discrete-event kernel: PSNs with finite output queues, trunk
+// transmitters, Poisson traffic sources driven by a traffic matrix,
+// per-link delay measurement on the 10-second period, the pluggable link
+// metric (HN-SPF / D-SPF / min-hop), and the flooding of routing updates as
+// real high-priority packets that consume trunk bandwidth.
+//
+// It is the experiment driver behind Table 1, Figure 1 and Figure 13.
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/flooding"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/spf"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// DownCost is the cost flooded for a dead link: large enough that no
+// finite alternative ever loses to it, finite so SPF arithmetic stays
+// well-defined.
+const DownCost = 1e9
+
+// MaxHops is the forwarding TTL: a packet that has crossed this many links
+// is the victim of a transient routing loop and is dropped (and counted).
+const MaxHops = 64
+
+// DefaultQueueLimit is the per-trunk output buffer in packets.
+const DefaultQueueLimit = 40
+
+// Config describes one simulation run.
+type Config struct {
+	Graph  *topology.Graph
+	Matrix *traffic.Matrix
+	Metric node.MetricKind
+
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// QueueLimit is the per-link output buffer in user packets
+	// (DefaultQueueLimit if zero).
+	QueueLimit int
+	// Warmup: statistics before this time are discarded.
+	Warmup sim.Time
+	// SampleInterval for link-utilization series (1 s if zero).
+	SampleInterval sim.Time
+	// ModuleFactory overrides the per-link cost module (nil = build from
+	// Metric). Used by the ablation experiments to run modified HNMs.
+	ModuleFactory func(l topology.Link) node.CostModule
+	// Multipath enables equal-cost multipath forwarding (§4.5): packets
+	// spread randomly over every first hop on a minimum-cost path. This is
+	// the paper's "future work" remedy for large single flows.
+	Multipath bool
+	// Trace, when non-nil, receives loss/routing events (bounded ring).
+	Trace *trace.Ring
+}
+
+// Network is a running simulation. Build with New, drive with Run/RunUntil,
+// then read Report and the tracked series. Not safe for concurrent use.
+type Network struct {
+	cfg    Config
+	kernel *sim.Kernel
+	g      *topology.Graph
+	psns   []*psn
+	links  []*linkState
+	rnd    *sim.Source
+
+	pktSeq uint64
+	warmed bool
+
+	// Cumulative statistics (post-warmup unless noted).
+	offeredPkts         stats.Counter
+	offeredBits         float64
+	delivered           stats.Counter
+	deliveredBits       float64
+	delay               stats.Welford    // one-way delivery delay, seconds
+	delayHist           *stats.Histogram // same, for percentiles
+	hops                stats.Welford    // per delivered packet
+	loopDrops           stats.Counter
+	noRouteDrops        stats.Counter
+	updatesOrig         stats.Counter // routing updates originated
+	updateTx            stats.Counter // routing update transmissions
+	routingBits         float64
+	bufferDropsAtWarmup int64
+	measuredSince       sim.Time
+}
+
+type psn struct {
+	id             topology.NodeID
+	router         *spf.IncrementalRouter // single-path (nil when multipath or BF1969)
+	mrouter        *spf.MultipathRouter   // multipath (nil otherwise)
+	dv             *dvState               // 1969 distance vector (nil otherwise)
+	pathRand       *rand.Rand             // multipath next-hop selection
+	dedup          *flooding.Dedup
+	seq            flooding.Sequencer
+	lastOriginated sim.Time
+
+	// Traffic generation: total packet rate and cumulative destination
+	// distribution.
+	pktRate float64 // packets per second
+	dstCum  []float64
+	dstIDs  []topology.NodeID
+	rand    *rand.Rand
+	size    *rand.Rand
+}
+
+type linkState struct {
+	link   topology.Link
+	queue  *node.Queue
+	module node.CostModule
+	meas   node.Measurement
+	busy   bool
+	down   bool
+
+	txBitsWindow float64 // bits since the last utilization sample
+	series       *stats.Series
+	costSeries   *stats.Series
+	util         stats.Welford // sampled utilization (post-warmup)
+	txPackets    int64
+}
+
+// New builds a network ready to run. It validates the topology, creates
+// the per-link metric modules, boots every PSN with the identical initial
+// cost database, and schedules traffic sources, measurement periods and
+// utilization sampling.
+func New(cfg Config) *Network {
+	if cfg.Graph == nil || cfg.Matrix == nil {
+		panic("network: Config needs Graph and Matrix")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Matrix.NumNodes() != cfg.Graph.NumNodes() {
+		panic("network: matrix size does not match graph")
+	}
+	if cfg.QueueLimit == 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = sim.Second
+	}
+	n := &Network{
+		cfg:    cfg,
+		kernel: sim.New(),
+		g:      cfg.Graph,
+		rnd:    sim.NewSource(cfg.Seed),
+		// 10 ms buckets to 10 s cover every plausible one-way delay.
+		delayHist: stats.NewHistogram(0, 10, 1000),
+	}
+
+	// Per-link state and the shared initial cost database.
+	initial := make([]float64, n.g.NumLinks())
+	n.links = make([]*linkState, n.g.NumLinks())
+	for i, l := range n.g.Links() {
+		mod := cfg.ModuleFactory
+		if mod == nil {
+			kind := cfg.Metric
+			if kind == node.BF1969 {
+				// The 1969 mode routes by distance vector; the per-link
+				// module is an unused placeholder.
+				kind = node.MinHop
+			}
+			mod = func(l topology.Link) node.CostModule {
+				return node.NewCostModule(kind, l.Type, l.PropDelay)
+			}
+		}
+		ls := &linkState{
+			link:   l,
+			queue:  node.NewQueue(cfg.QueueLimit),
+			module: mod(l),
+		}
+		n.links[i] = ls
+		initial[i] = ls.module.Cost()
+	}
+
+	// PSNs with routers booted from the identical database.
+	n.psns = make([]*psn, n.g.NumNodes())
+	for i := range n.psns {
+		id := topology.NodeID(i)
+		p := &psn{
+			id:    id,
+			dedup: flooding.NewDedup(n.g.NumNodes()),
+			rand:  n.rnd.Stream(fmt.Sprintf("dst/%d", i)),
+			size:  n.rnd.Stream(fmt.Sprintf("size/%d", i)),
+		}
+		switch {
+		case cfg.Metric == node.BF1969:
+			// distance-vector state is installed by dvSetup below
+		case cfg.Multipath:
+			p.mrouter = spf.NewMultipathRouter(n.g, id, initial, n.multipathTol())
+			p.pathRand = n.rnd.Stream(fmt.Sprintf("path/%d", i))
+		default:
+			p.router = spf.NewIncrementalRouter(n.g, id, initial)
+		}
+		n.psns[i] = p
+		n.setupSource(p)
+	}
+
+	if cfg.Metric == node.BF1969 {
+		n.dvSetup()
+	} else {
+		n.scheduleMeasurement()
+	}
+	n.scheduleSampling()
+	n.scheduleTraffic()
+	if cfg.Warmup > 0 {
+		n.kernel.Schedule(cfg.Warmup, func(sim.Time) { n.startMeasuring() })
+	} else {
+		n.startMeasuring()
+	}
+	return n
+}
+
+func (n *Network) setupSource(p *psn) {
+	var total float64
+	for d := 0; d < n.g.NumNodes(); d++ {
+		r := n.cfg.Matrix.Rate(p.id, topology.NodeID(d))
+		if r > 0 {
+			total += r
+			p.dstIDs = append(p.dstIDs, topology.NodeID(d))
+			p.dstCum = append(p.dstCum, total)
+		}
+	}
+	p.pktRate = total / 600.0 // packets/s at the network-wide mean size
+	for i := range p.dstCum {
+		p.dstCum[i] /= total
+	}
+}
+
+// multipathTol derives the near-equality tolerance from the cheapest link
+// floor in this network: node.MultipathToleranceFraction of it, which is
+// under the loop-freedom bound of half the minimum link cost.
+func (n *Network) multipathTol() float64 {
+	min := math.Inf(1)
+	for _, ls := range n.links {
+		if f := ls.module.Floor(); f < min {
+			min = f
+		}
+	}
+	return node.MultipathToleranceFraction * min
+}
+
+// nextHop picks the outgoing link toward dst: the single SPF tree hop, or
+// a random choice among the equal-cost first hops when multipath is on.
+func (p *psn) nextHop(dst topology.NodeID) topology.LinkID {
+	if p.dv != nil {
+		return p.dv.next[dst]
+	}
+	if p.mrouter == nil {
+		return p.router.Tree().NextHop(dst)
+	}
+	hops := p.mrouter.NextHops(dst)
+	switch len(hops) {
+	case 0:
+		return topology.NoLink
+	case 1:
+		return hops[0]
+	default:
+		return hops[p.pathRand.Intn(len(hops))]
+	}
+}
+
+// applyCosts installs flooded costs into whichever router the PSN runs.
+func (p *psn) applyCosts(links []topology.LinkID, costs []float64) {
+	if p.mrouter != nil {
+		p.mrouter.UpdateBatch(links, costs)
+		return
+	}
+	p.router.UpdateBatch(links, costs)
+}
+
+// recomputes returns the PSN's route-computation count (0 in BF1969 mode,
+// where there is no SPF).
+func (p *psn) recomputes() int64 {
+	switch {
+	case p.dv != nil:
+		return 0
+	case p.mrouter != nil:
+		return p.mrouter.Recomputes()
+	default:
+		return p.router.Recomputes()
+	}
+}
+
+// Kernel exposes the simulation clock for callers that schedule scenario
+// events (link failures, matrix switches).
+func (n *Network) Kernel() *sim.Kernel { return n.kernel }
+
+// Graph returns the topology the network runs over.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// Run advances the simulation to the given absolute time.
+func (n *Network) Run(until sim.Time) { n.kernel.RunUntil(until) }
+
+// TrackLink starts recording a per-sample utilization series for the link;
+// call before Run. The series' X axis is seconds.
+func (n *Network) TrackLink(l topology.LinkID) *stats.Series {
+	ls := n.links[l]
+	if ls.series == nil {
+		lnk := ls.link
+		ls.series = stats.NewSeries(fmt.Sprintf("%s->%s", n.g.Node(lnk.From).Name, n.g.Node(lnk.To).Name))
+	}
+	return ls.series
+}
+
+// LinkCost returns the cost currently advertised by the link's metric
+// module.
+func (n *Network) LinkCost(l topology.LinkID) float64 { return n.links[l].module.Cost() }
+
+// TrackLinkCost records the link's advertised cost once per sample
+// interval; call before Run.
+func (n *Network) TrackLinkCost(l topology.LinkID) *stats.Series {
+	ls := n.links[l]
+	if ls.costSeries == nil {
+		lnk := ls.link
+		ls.costSeries = stats.NewSeries(fmt.Sprintf("cost %s->%s",
+			n.g.Node(lnk.From).Name, n.g.Node(lnk.To).Name))
+	}
+	return ls.costSeries
+}
+
+// --- traffic generation -------------------------------------------------
+
+func (n *Network) scheduleTraffic() {
+	for _, p := range n.psns {
+		if p.pktRate <= 0 {
+			continue
+		}
+		p := p
+		n.kernel.Schedule(n.nextArrival(p), func(now sim.Time) { n.sourceFire(p, now) })
+	}
+}
+
+func (n *Network) nextArrival(p *psn) sim.Time {
+	return sim.FromSeconds(sim.Exp(p.rand, 1/p.pktRate))
+}
+
+func (n *Network) sourceFire(p *psn, now sim.Time) {
+	dst := p.pickDst()
+	size := sim.Exp(p.size, 600)
+	if size < 100 {
+		size = 100
+	}
+	if size > 8000 {
+		size = 8000
+	}
+	n.pktSeq++
+	pkt := &node.Packet{
+		Seq: n.pktSeq, Src: p.id, Dst: dst,
+		SizeBits: size, Created: now, Arrival: topology.NoLink,
+	}
+	if n.warmed {
+		n.offeredPkts.Inc()
+		n.offeredBits += size
+	}
+	n.handlePacket(p, pkt, now)
+	n.kernel.Schedule(n.nextArrival(p), func(t sim.Time) { n.sourceFire(p, t) })
+}
+
+func (p *psn) pickDst() topology.NodeID {
+	u := p.rand.Float64()
+	lo, hi := 0, len(p.dstCum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.dstCum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return p.dstIDs[lo]
+}
+
+// --- forwarding ---------------------------------------------------------
+
+// handlePacket processes a packet at a PSN: deliver, drop, or enqueue on
+// the next-hop link per the PSN's current SPF tree.
+func (n *Network) handlePacket(p *psn, pkt *node.Packet, now sim.Time) {
+	if pkt.IsRouting() {
+		if pkt.Vector != nil {
+			n.dvReceive(p, pkt)
+		} else {
+			n.handleUpdate(p, pkt, now)
+		}
+		return
+	}
+	if pkt.Dst == p.id {
+		if n.warmed {
+			n.delivered.Inc()
+			n.deliveredBits += pkt.SizeBits
+			n.delay.Add((now - pkt.Created).Seconds())
+			n.delayHist.Add((now - pkt.Created).Seconds())
+			n.hops.Add(float64(pkt.Hops))
+		}
+		return
+	}
+	if pkt.Hops >= MaxHops {
+		if n.warmed {
+			n.loopDrops.Inc()
+		}
+		n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketLooped, Node: p.id, Link: topology.NoLink})
+		return
+	}
+	nh := p.nextHop(pkt.Dst)
+	if nh == topology.NoLink || n.links[nh].down {
+		if n.warmed {
+			n.noRouteDrops.Inc()
+		}
+		n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketNoRoute, Node: p.id, Link: nh})
+		return
+	}
+	n.enqueue(n.links[nh], pkt, now)
+}
+
+func (n *Network) enqueue(ls *linkState, pkt *node.Packet, now sim.Time) {
+	pkt.Enqueued = now
+	if !ls.queue.Push(pkt) {
+		// Dropped; the queue counted it.
+		n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketDropped, Node: ls.link.From, Link: ls.link.ID})
+		return
+	}
+	if !ls.busy {
+		n.startTx(ls, now)
+	}
+}
+
+func (n *Network) startTx(ls *linkState, now sim.Time) {
+	if ls.down {
+		ls.busy = false
+		return
+	}
+	pkt := ls.queue.Pop()
+	if pkt == nil {
+		ls.busy = false
+		return
+	}
+	ls.busy = true
+	txTime := sim.FromSeconds(pkt.SizeBits / ls.link.Type.Bandwidth())
+	n.kernel.Schedule(txTime, func(t sim.Time) { n.txDone(ls, pkt, t) })
+}
+
+func (n *Network) txDone(ls *linkState, pkt *node.Packet, now sim.Time) {
+	// §2.2 measurement: queueing (+ transmission) delay, plus the fixed
+	// processing term. Propagation is tabled inside the metric module.
+	ls.meas.Record((now - pkt.Enqueued).Seconds() + node.ProcessingDelay.Seconds())
+	ls.txBitsWindow += pkt.SizeBits
+	ls.txPackets++
+	if pkt.IsRouting() {
+		if n.warmed {
+			n.updateTx.Inc()
+			n.routingBits += pkt.SizeBits
+		}
+	}
+	pkt.Hops++
+	dest := n.psns[ls.link.To]
+	if !ls.down {
+		n.kernel.Schedule(sim.FromSeconds(ls.link.PropDelay)+node.ProcessingDelay, func(t sim.Time) {
+			n.handlePacket(dest, pkt, t)
+		})
+	}
+	n.startTx(ls, now)
+}
+
+// --- routing updates ----------------------------------------------------
+
+func (n *Network) handleUpdate(p *psn, pkt *node.Packet, now sim.Time) {
+	u := pkt.Update
+	if !p.dedup.Accept(u.Origin, u.Seq) {
+		return
+	}
+	p.applyCosts(u.Links, u.Costs)
+	for _, l := range flooding.ForwardLinks(n.g, p.id, pkt.Arrival) {
+		if n.links[l].down {
+			continue
+		}
+		n.pktSeq++
+		copyPkt := &node.Packet{
+			Seq: n.pktSeq, SizeBits: u.SizeBits(),
+			Created: pkt.Created, Update: u, Arrival: l,
+		}
+		n.enqueue(n.links[l], copyPkt, now)
+	}
+}
+
+// originate floods p's current link costs to the whole network and applies
+// them locally. In BF1969 mode there is no flooding: the periodic vector
+// exchange carries all routing information.
+func (n *Network) originate(p *psn, now sim.Time) {
+	if p.dv != nil {
+		return
+	}
+	out := n.g.Out(p.id)
+	links := make([]topology.LinkID, 0, len(out))
+	costs := make([]float64, 0, len(out))
+	for _, l := range out {
+		links = append(links, l)
+		if n.links[l].down {
+			costs = append(costs, DownCost)
+		} else {
+			costs = append(costs, n.links[l].module.Cost())
+		}
+	}
+	u := flooding.NewUpdate(p.id, p.seq.Next(), links, costs)
+	p.dedup.Accept(u.Origin, u.Seq)
+	p.applyCosts(u.Links, u.Costs)
+	p.lastOriginated = now
+	if n.warmed {
+		n.updatesOrig.Inc()
+	}
+	n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.UpdateOriginate, Node: p.id, Link: topology.NoLink})
+	for _, l := range flooding.ForwardLinks(n.g, p.id, topology.NoLink) {
+		if n.links[l].down {
+			continue
+		}
+		n.pktSeq++
+		pkt := &node.Packet{
+			Seq: n.pktSeq, SizeBits: u.SizeBits(),
+			Created: now, Update: u, Arrival: l,
+		}
+		n.enqueue(n.links[l], pkt, now)
+	}
+}
+
+// --- measurement periods ------------------------------------------------
+
+func (n *Network) scheduleMeasurement() {
+	period := node.MeasurementPeriod
+	for i, p := range n.psns {
+		p := p
+		// Stagger the nodes' periods across the interval: the paper's PSNs
+		// measure asynchronously (though they *re-route* almost
+		// synchronously, because flooding is fast — that effect emerges
+		// from the packet-level flood, not from scheduling).
+		offset := sim.Time(int64(period) * int64(i) / int64(len(n.psns)))
+		n.kernel.Schedule(offset+period, func(now sim.Time) { n.measure(p, now) })
+	}
+}
+
+func (n *Network) measure(p *psn, now sim.Time) {
+	report := false
+	for _, l := range n.g.Out(p.id) {
+		ls := n.links[l]
+		avg := ls.meas.Take()
+		if ls.down {
+			continue
+		}
+		if _, rep := ls.module.Update(avg); rep {
+			report = true
+		}
+	}
+	// Reliability refresh: force an update at least every 50 s.
+	if report || now-p.lastOriginated >= node.MaxUpdateInterval {
+		n.originate(p, now)
+	}
+	n.kernel.Schedule(node.MeasurementPeriod, func(t sim.Time) { n.measure(p, t) })
+}
+
+// --- utilization sampling -----------------------------------------------
+
+func (n *Network) scheduleSampling() {
+	n.kernel.Every(n.cfg.SampleInterval, func(now sim.Time) {
+		dt := n.cfg.SampleInterval.Seconds()
+		for _, ls := range n.links {
+			u := ls.txBitsWindow / (ls.link.Type.Bandwidth() * dt)
+			ls.txBitsWindow = 0
+			if ls.series != nil {
+				ls.series.Add(now.Seconds(), u)
+			}
+			if ls.costSeries != nil {
+				ls.costSeries.Add(now.Seconds(), ls.module.Cost())
+			}
+			if n.warmed && !ls.down {
+				ls.util.Add(u)
+			}
+		}
+	})
+}
+
+func (n *Network) startMeasuring() {
+	n.warmed = true
+	n.measuredSince = n.kernel.Now()
+	var drops int64
+	for _, ls := range n.links {
+		drops += ls.queue.Drops()
+	}
+	n.bufferDropsAtWarmup = drops
+}
+
+// --- link failures ------------------------------------------------------
+
+// SetTrunkDown takes both directions of the trunk containing link l out of
+// service and floods the news from both ends.
+func (n *Network) SetTrunkDown(l topology.LinkID) {
+	now := n.kernel.Now()
+	n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.LinkDown, Node: n.g.Link(l).From, Link: l})
+	for _, id := range []topology.LinkID{l, n.g.Link(l).Reverse()} {
+		n.links[id].down = true
+	}
+	n.originate(n.psns[n.g.Link(l).From], now)
+	n.originate(n.psns[n.g.Link(l).To], now)
+}
+
+// SetTrunkUp returns the trunk to service. The metric modules Reset, so an
+// HN-SPF link comes back at its maximum cost and eases in (§5.4).
+func (n *Network) SetTrunkUp(l topology.LinkID) {
+	now := n.kernel.Now()
+	n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.LinkUp, Node: n.g.Link(l).From, Link: l})
+	for _, id := range []topology.LinkID{l, n.g.Link(l).Reverse()} {
+		ls := n.links[id]
+		ls.down = false
+		ls.busy = false
+		ls.module.Reset()
+		ls.meas.Take()
+	}
+	n.originate(n.psns[n.g.Link(l).From], now)
+	n.originate(n.psns[n.g.Link(l).To], now)
+	for _, id := range []topology.LinkID{l, n.g.Link(l).Reverse()} {
+		if ls := n.links[id]; !ls.busy && ls.queue.Len() > 0 {
+			n.startTx(ls, now)
+		}
+	}
+}

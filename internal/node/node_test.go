@@ -1,0 +1,202 @@
+package node
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flooding"
+	"repro/internal/topology"
+)
+
+func user(seq uint64) *Packet { return &Packet{Seq: seq, SizeBits: 600} }
+func routing(seq uint64) *Packet {
+	return &Packet{Seq: seq, Update: flooding.NewUpdate(0, seq, nil, nil)}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(10)
+	for i := uint64(1); i <= 3; i++ {
+		if !q.Push(user(i)) {
+			t.Fatal("push rejected below limit")
+		}
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if got := q.Pop(); got == nil || got.Seq != i {
+			t.Fatalf("Pop returned %v, want seq %d", got, i)
+		}
+	}
+	if q.Pop() != nil {
+		t.Error("Pop on empty should return nil")
+	}
+}
+
+func TestQueueDropsWhenFull(t *testing.T) {
+	q := NewQueue(2)
+	q.Push(user(1))
+	q.Push(user(2))
+	if q.Push(user(3)) {
+		t.Error("push over limit should be rejected")
+	}
+	if q.Drops() != 1 {
+		t.Errorf("Drops = %d, want 1", q.Drops())
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+}
+
+func TestQueueRoutingPriority(t *testing.T) {
+	q := NewQueue(2)
+	q.Push(user(1))
+	q.Push(user(2))
+	// Routing packets jump the queue and ignore the limit.
+	if !q.Push(routing(99)) {
+		t.Fatal("routing packet must always be accepted")
+	}
+	if got := q.Pop(); !got.IsRouting() {
+		t.Error("routing packet should pop first")
+	}
+	if got := q.Pop(); got.Seq != 1 {
+		t.Error("user order should be preserved behind routing packets")
+	}
+	if q.Drops() != 0 {
+		t.Error("routing priority insert must not count as a drop")
+	}
+}
+
+func TestQueueMaxSeen(t *testing.T) {
+	q := NewQueue(5)
+	q.Push(user(1))
+	q.Push(user(2))
+	q.Pop()
+	q.Push(user(3))
+	if q.MaxSeen() != 2 {
+		t.Errorf("MaxSeen = %d, want 2", q.MaxSeen())
+	}
+}
+
+func TestQueuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewQueue(0) should panic")
+		}
+	}()
+	NewQueue(0)
+}
+
+// Property: with mixed pushes and pops, user packets leave in FIFO order
+// and every routing packet leaves before any user packet pushed earlier.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := NewQueue(1000)
+		var seq uint64
+		var lastUser uint64
+		for _, isRouting := range ops {
+			seq++
+			if isRouting {
+				q.Push(routing(seq))
+			} else {
+				q.Push(user(seq))
+			}
+		}
+		// All routing packets must come out before all user packets.
+		seenUser := false
+		for {
+			p := q.Pop()
+			if p == nil {
+				return true
+			}
+			if p.IsRouting() {
+				if seenUser {
+					return false
+				}
+			} else {
+				seenUser = true
+				if p.Seq <= lastUser {
+					return false
+				}
+				lastUser = p.Seq
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasurement(t *testing.T) {
+	var m Measurement
+	if m.Take() != 0 {
+		t.Error("empty period should average to 0 (idle line)")
+	}
+	m.Record(0.010)
+	m.Record(0.020)
+	if m.Count() != 2 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	if got := m.Take(); got != 0.015 {
+		t.Errorf("Take = %v, want 0.015", got)
+	}
+	// Take resets.
+	if m.Count() != 0 || m.Take() != 0 {
+		t.Error("Take should reset the accumulator")
+	}
+}
+
+func TestNewCostModule(t *testing.T) {
+	for _, k := range []MetricKind{HNSPF, DSPF, MinHop} {
+		m := NewCostModule(k, topology.T56, 0.010)
+		if m == nil {
+			t.Fatalf("%v: nil module", k)
+		}
+		if c := m.Cost(); c <= 0 {
+			t.Errorf("%v: fresh cost %v, want positive", k, c)
+		}
+		c, _ := m.Update(0.011)
+		if c <= 0 {
+			t.Errorf("%v: updated cost %v, want positive", k, c)
+		}
+	}
+	if HNSPF.String() != "HN-SPF" || DSPF.String() != "D-SPF" || MinHop.String() != "min-hop" {
+		t.Error("MetricKind names wrong")
+	}
+	if MetricKind(42).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}
+
+func TestNewCostModulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown metric kind should panic")
+		}
+	}()
+	NewCostModule(MetricKind(42), topology.T56, 0)
+}
+
+func TestMetricInitialCosts(t *testing.T) {
+	// HN-SPF starts a link at its max (ease-in); D-SPF starts at its bias.
+	h := NewCostModule(HNSPF, topology.T56, 0)
+	if h.Cost() != 90 {
+		t.Errorf("HN-SPF fresh cost = %v, want 90", h.Cost())
+	}
+	d := NewCostModule(DSPF, topology.T56, 0)
+	if c := d.Cost(); c < 1.9 || c > 2.1 {
+		t.Errorf("D-SPF fresh cost = %v, want ~2 (bias)", c)
+	}
+}
+
+func TestMultipathToleranceFraction(t *testing.T) {
+	// Loop freedom (see spf.ComputeDAG) requires tolerance < (min link
+	// cost)/2; the fraction applied to the smallest floor must respect it.
+	if MultipathToleranceFraction <= 0 || MultipathToleranceFraction >= 0.5 {
+		t.Errorf("fraction %v outside (0, 0.5)", MultipathToleranceFraction)
+	}
+	// Every metric's modules expose a positive floor for the derivation.
+	for _, k := range []MetricKind{HNSPF, DSPF, MinHop} {
+		m := NewCostModule(k, topology.T112, 0)
+		if m.Floor() <= 0 {
+			t.Errorf("%v floor %v, want positive", k, m.Floor())
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package queueing implements the queueing-theory substrate the revised
+// metric depends on: M/M/1 and M/M/1/K formulas and the delay-to-utilization
+// transform of Figure 3 ("A simple M/M/1 queueing model is used with the
+// service time being the network-wide average packet size (600 bits/packet)
+// divided by the trunk's bandwidth").
+package queueing
+
+import "math"
+
+// AvgPacketBits is the network-wide average packet size used by the PSN to
+// convert measured delay into a utilization estimate (paper §4.1).
+const AvgPacketBits = 600.0
+
+// ServiceTime returns the M/M/1 service time in seconds for a trunk of the
+// given bandwidth (bits/second), assuming the network-wide average packet.
+func ServiceTime(bandwidthBPS float64) float64 {
+	if bandwidthBPS <= 0 {
+		return 0
+	}
+	return AvgPacketBits / bandwidthBPS
+}
+
+// MM1Delay returns the expected total time in system (queueing + service)
+// for an M/M/1 queue with the given service time (seconds) at utilization
+// rho in [0, 1). For rho >= 1 it returns +Inf.
+func MM1Delay(serviceTime, rho float64) float64 {
+	if rho < 0 {
+		rho = 0
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return serviceTime / (1 - rho)
+}
+
+// MM1QueueLen returns the expected number of packets in system (L = rho/(1-rho)).
+func MM1QueueLen(rho float64) float64 {
+	if rho < 0 {
+		rho = 0
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho)
+}
+
+// UtilizationFromDelay inverts MM1Delay: given a measured average delay
+// (queueing + service, excluding propagation) it estimates link utilization.
+// This is the paper's delay_to_utilization[] table. Results are clamped to
+// [0, maxRho]; delays at or below the service time map to 0.
+//
+// rho = 1 - S/D  (from D = S/(1-rho))
+func UtilizationFromDelay(serviceTime, delay float64) float64 {
+	const maxRho = 0.999
+	if serviceTime <= 0 || delay <= serviceTime {
+		return 0
+	}
+	rho := 1 - serviceTime/delay
+	if rho > maxRho {
+		return maxRho
+	}
+	return rho
+}
+
+// MM1KBlocking returns the blocking (drop) probability of an M/M/1/K queue:
+// the probability an arriving packet finds K packets already in system.
+func MM1KBlocking(rho float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	if rho == 1 {
+		return 1 / float64(k+1)
+	}
+	// P_K = (1-rho) rho^K / (1 - rho^(K+1))
+	num := (1 - rho) * math.Pow(rho, float64(k))
+	den := 1 - math.Pow(rho, float64(k+1))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// MM1KQueueLen returns the expected number in system for an M/M/1/K queue.
+func MM1KQueueLen(rho float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	if rho == 1 {
+		return float64(k) / 2
+	}
+	// L = rho/(1-rho) - (K+1) rho^(K+1) / (1 - rho^(K+1))
+	rk1 := math.Pow(rho, float64(k+1))
+	return rho/(1-rho) - float64(k+1)*rk1/(1-rk1)
+}
+
+// Table is a precomputed delay→utilization lookup covering the delays a
+// PSN can plausibly measure on one line type. The real PSN used a table for
+// speed; we keep one for fidelity and to make the quantization explicit.
+type Table struct {
+	serviceTime float64
+	step        float64 // delay quantum in seconds
+	rho         []float64
+}
+
+// NewTable builds a lookup table for a line with the given service time,
+// quantized to step seconds, covering delays up to maxDelay, under the
+// M/M/1 inversion the paper uses.
+func NewTable(serviceTime, step, maxDelay float64) *Table {
+	return NewTableFunc(serviceTime, step, maxDelay, UtilizationFromDelay)
+}
+
+// NewTableFunc is NewTable with an explicit delay→utilization inverter —
+// e.g. UtilizationFromDelayMD1 for the M/D/1 sensitivity analysis.
+func NewTableFunc(serviceTime, step, maxDelay float64, invert func(serviceTime, delay float64) float64) *Table {
+	if serviceTime <= 0 || step <= 0 || maxDelay <= serviceTime {
+		panic("queueing: invalid table parameters")
+	}
+	n := int(maxDelay/step) + 1
+	t := &Table{serviceTime: serviceTime, step: step, rho: make([]float64, n)}
+	for i := range t.rho {
+		t.rho[i] = invert(serviceTime, float64(i)*step)
+	}
+	return t
+}
+
+// Lookup returns the tabled utilization estimate for a measured delay in
+// seconds. Delays beyond the table saturate at the last entry.
+func (t *Table) Lookup(delay float64) float64 {
+	if delay <= 0 {
+		return 0
+	}
+	i := int(delay/t.step + 0.5)
+	if i >= len(t.rho) {
+		i = len(t.rho) - 1
+	}
+	return t.rho[i]
+}
+
+// ServiceTime returns the service time the table was built for.
+func (t *Table) ServiceTime() float64 { return t.serviceTime }

@@ -1,0 +1,171 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestServiceTime(t *testing.T) {
+	// 600 bits over 56 kb/s = 10.714... ms (the paper's canonical trunk).
+	got := ServiceTime(56000)
+	if math.Abs(got-0.0107142857) > 1e-9 {
+		t.Errorf("ServiceTime(56k) = %v, want ~10.714ms", got)
+	}
+	if ServiceTime(0) != 0 || ServiceTime(-1) != 0 {
+		t.Error("non-positive bandwidth should give 0")
+	}
+}
+
+func TestMM1Delay(t *testing.T) {
+	s := ServiceTime(56000)
+	if got := MM1Delay(s, 0); got != s {
+		t.Errorf("delay at rho=0 should equal service time, got %v", got)
+	}
+	if got := MM1Delay(s, 0.5); math.Abs(got-2*s) > 1e-12 {
+		t.Errorf("delay at rho=0.5 = %v, want 2S", got)
+	}
+	if !math.IsInf(MM1Delay(s, 1), 1) {
+		t.Error("delay at rho=1 should be +Inf")
+	}
+	if got := MM1Delay(s, -0.5); got != s {
+		t.Error("negative rho should clamp to 0")
+	}
+}
+
+func TestMM1QueueLen(t *testing.T) {
+	if got := MM1QueueLen(0.5); got != 1 {
+		t.Errorf("L(0.5) = %v, want 1", got)
+	}
+	if got := MM1QueueLen(0.9); math.Abs(got-9) > 1e-12 {
+		t.Errorf("L(0.9) = %v, want 9", got)
+	}
+	if !math.IsInf(MM1QueueLen(1), 1) {
+		t.Error("L(1) should be +Inf")
+	}
+	if MM1QueueLen(-1) != 0 {
+		t.Error("L(negative) should be 0")
+	}
+}
+
+// Property: UtilizationFromDelay inverts MM1Delay on (0, 0.999].
+func TestDelayUtilizationRoundTrip(t *testing.T) {
+	s := ServiceTime(56000)
+	f := func(r float64) bool {
+		rho := math.Mod(math.Abs(r), 0.999)
+		d := MM1Delay(s, rho)
+		back := UtilizationFromDelay(s, d)
+		return math.Abs(back-rho) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationFromDelayEdges(t *testing.T) {
+	s := ServiceTime(56000)
+	if UtilizationFromDelay(s, s) != 0 {
+		t.Error("delay == service time should map to rho 0")
+	}
+	if UtilizationFromDelay(s, s/2) != 0 {
+		t.Error("delay below service time should map to rho 0")
+	}
+	if got := UtilizationFromDelay(s, 1e9); got != 0.999 {
+		t.Errorf("huge delay should clamp to 0.999, got %v", got)
+	}
+	if UtilizationFromDelay(0, 1) != 0 {
+		t.Error("zero service time should map to rho 0")
+	}
+}
+
+func TestPaperUtilizationAnchors(t *testing.T) {
+	// §5.2: a link over 75% utilized reports an average D-SPF cost of 4 hops
+	// assuming M/M/1. At rho=0.75, delay = 4×service time — i.e. 4× the idle
+	// cost, which is exactly how Figure 7's "4 hops" arises.
+	s := ServiceTime(56000)
+	d := MM1Delay(s, 0.75)
+	if ratio := d / s; math.Abs(ratio-4) > 1e-12 {
+		t.Errorf("delay ratio at 75%% = %v, want 4", ratio)
+	}
+	// §3.2: a highly loaded 56k line can appear 20× less attractive: that is
+	// rho = 0.95.
+	d95 := MM1Delay(s, 0.95)
+	if ratio := d95 / s; math.Abs(ratio-20) > 1e-9 {
+		t.Errorf("delay ratio at 95%% = %v, want 20", ratio)
+	}
+}
+
+func TestMM1KBlocking(t *testing.T) {
+	// K=0: every arrival blocked.
+	if MM1KBlocking(0.5, 0) != 1 {
+		t.Error("K=0 should block everything")
+	}
+	// rho=1 special case: 1/(K+1).
+	if got := MM1KBlocking(1, 4); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("blocking at rho=1,K=4 = %v, want 0.2", got)
+	}
+	// Light load: nearly no blocking with a decent buffer.
+	if got := MM1KBlocking(0.1, 20); got > 1e-18 {
+		t.Errorf("blocking at rho=0.1,K=20 = %v, want ~0", got)
+	}
+	// Blocking grows with rho.
+	if MM1KBlocking(0.9, 10) <= MM1KBlocking(0.5, 10) {
+		t.Error("blocking should increase with utilization")
+	}
+	// Blocking shrinks with K.
+	if MM1KBlocking(0.9, 20) >= MM1KBlocking(0.9, 5) {
+		t.Error("blocking should decrease with buffer size")
+	}
+	if MM1KBlocking(-0.5, 10) != MM1KBlocking(0, 10) {
+		t.Error("negative rho should clamp to 0")
+	}
+}
+
+func TestMM1KQueueLen(t *testing.T) {
+	if MM1KQueueLen(0.5, 0) != 0 {
+		t.Error("K=0 queue should be empty")
+	}
+	if got := MM1KQueueLen(1, 10); got != 5 {
+		t.Errorf("L at rho=1,K=10 = %v, want K/2 = 5", got)
+	}
+	// Large K converges to M/M/1.
+	if got, want := MM1KQueueLen(0.5, 500), MM1QueueLen(0.5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("L(0.5, K=500) = %v, want ~%v", got, want)
+	}
+	// Finite queue is shorter than infinite at high load.
+	if MM1KQueueLen(0.95, 10) >= MM1QueueLen(0.95) {
+		t.Error("finite queue should be shorter than infinite queue")
+	}
+}
+
+func TestTable(t *testing.T) {
+	s := ServiceTime(56000)
+	tab := NewTable(s, 0.0001, 1.0)
+	if tab.ServiceTime() != s {
+		t.Error("ServiceTime mismatch")
+	}
+	// Table lookup should approximate the analytic inverse.
+	for _, rho := range []float64{0.1, 0.5, 0.75, 0.9} {
+		d := MM1Delay(s, rho)
+		got := tab.Lookup(d)
+		if math.Abs(got-rho) > 0.02 {
+			t.Errorf("table lookup at rho=%v gave %v", rho, got)
+		}
+	}
+	if tab.Lookup(0) != 0 || tab.Lookup(-1) != 0 {
+		t.Error("non-positive delay should map to 0")
+	}
+	// Saturation beyond the table.
+	if got := tab.Lookup(100); got != tab.Lookup(1.0) {
+		t.Errorf("lookup beyond table should saturate, got %v", got)
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid table parameters should panic")
+		}
+	}()
+	NewTable(0, 0.001, 1)
+}

@@ -1,0 +1,260 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is a single-threaded event loop over a binary-heap event queue.
+// Time is measured in integer microseconds (Time) so that runs are exactly
+// reproducible across platforms. Events scheduled for the same instant fire
+// in the order they were scheduled (FIFO tie-break by sequence number).
+//
+// The kernel knows nothing about networks; internal/network builds the
+// ARPANET model on top of it.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is a simulation timestamp in microseconds since the start of the run.
+type Time int64
+
+// Common durations expressed in simulation time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts t to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts floating-point seconds to a Time, rounding to the
+// nearest microsecond.
+func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Event is a callback scheduled to run at a particular simulation time.
+type Event func(now Time)
+
+// item is a heap entry. seq breaks ties so same-time events run FIFO.
+type item struct {
+	at      Time
+	seq     uint64
+	fn      Event
+	stopped bool
+	index   int
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ it *item }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.it == nil || h.it.stopped {
+		return false
+	}
+	h.it.stopped = true
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h Handle) Pending() bool { return h.it != nil && !h.it.stopped && h.it.index >= 0 }
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; create one with New.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// New returns an empty kernel with the clock at time zero.
+func New() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.queue)
+	return k
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet drained from the heap).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// ErrPastEvent is returned by ScheduleAt when the requested time is before
+// the current simulation time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// ScheduleAt schedules fn to run at absolute time at. It returns a Handle
+// that can cancel the event, and an error if at precedes the current time.
+func (k *Kernel) ScheduleAt(at Time, fn Event) (Handle, error) {
+	if at < k.now {
+		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, k.now)
+	}
+	it := &item{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, it)
+	return Handle{it}, nil
+}
+
+// Schedule schedules fn to run after delay (which may be zero). A negative
+// delay is treated as zero.
+func (k *Kernel) Schedule(delay Time, fn Event) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	h, err := k.ScheduleAt(k.now+delay, fn)
+	if err != nil {
+		// Unreachable: now+delay >= now for delay >= 0 (overflow aside).
+		panic(err)
+	}
+	return h
+}
+
+// Every schedules fn to run every period, starting after the first period.
+// The returned Handle cancels the *next* occurrence; after each firing the
+// ticker reschedules itself, so keep the Ticker to stop it.
+func (k *Kernel) Every(period Time, fn Event) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly fires an event at a fixed period until stopped.
+type Ticker struct {
+	k       *Kernel
+	period  Time
+	fn      Event
+	handle  Handle
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.k.Schedule(t.period, func(now Time) {
+		if t.stopped {
+			return
+		}
+		t.fn(now)
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels all future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the single next pending event. It reports false when the
+// queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		it := heap.Pop(&k.queue).(*item)
+		if it.stopped {
+			continue
+		}
+		k.now = it.at
+		it.stopped = true
+		k.fired++
+		it.fn(k.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.runGuard()
+	defer func() { k.running = false }()
+	for !k.stopped && k.Step() {
+	}
+	k.stopped = false
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled at exactly the deadline do run.
+func (k *Kernel) RunUntil(deadline Time) {
+	k.runGuard()
+	defer func() { k.running = false }()
+	for !k.stopped {
+		next, ok := k.peek()
+		if !ok || next > deadline {
+			break
+		}
+		k.Step()
+	}
+	k.stopped = false
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+func (k *Kernel) runGuard() {
+	if k.running {
+		panic("sim: Run called re-entrantly from an event")
+	}
+	k.running = true
+}
+
+// peek returns the timestamp of the next runnable event.
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.queue) > 0 {
+		if k.queue[0].stopped {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return k.queue[0].at, true
+	}
+	return 0, false
+}

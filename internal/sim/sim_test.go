@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v, want %v", got, 1500*Millisecond)
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds() = %v, want 2.5", got)
+	}
+	if got := (3 * Millisecond).Milliseconds(); got != 3 {
+		t.Errorf("Milliseconds() = %v, want 3", got)
+	}
+	if s := (1500 * Millisecond).String(); s != "1.500000s" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	k := New()
+	var order []int
+	k.Schedule(3*Second, func(Time) { order = append(order, 3) })
+	k.Schedule(1*Second, func(Time) { order = append(order, 1) })
+	k.Schedule(2*Second, func(Time) { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if k.Now() != 3*Second {
+		t.Errorf("Now() = %v, want 3s", k.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(Second, func(Time) { order = append(order, i) })
+	}
+	k.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-time events did not fire FIFO: %v", order)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	fired := false
+	h := k.Schedule(Second, func(Time) { fired = true })
+	if !h.Pending() {
+		t.Error("handle should be pending before run")
+	}
+	if !h.Cancel() {
+		t.Error("first Cancel should report true")
+	}
+	if h.Cancel() {
+		t.Error("second Cancel should report false")
+	}
+	k.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	k := New()
+	h := k.Schedule(Second, func(Time) {})
+	k.Run()
+	if h.Cancel() {
+		t.Error("Cancel after firing should report false")
+	}
+	if h.Pending() {
+		t.Error("fired event should not be pending")
+	}
+}
+
+func TestScheduleAtPast(t *testing.T) {
+	k := New()
+	k.Schedule(2*Second, func(Time) {})
+	k.Run()
+	if _, err := k.ScheduleAt(Second, func(Time) {}); err == nil {
+		t.Error("ScheduleAt in the past should error")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	k := New()
+	k.Schedule(Second, func(now Time) {
+		k.Schedule(-5*Second, func(at Time) {
+			if at != now {
+				t.Errorf("negative delay fired at %v, want %v", at, now)
+			}
+		})
+	})
+	k.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		k.Schedule(Time(i)*Second, func(now Time) { fired = append(fired, now) })
+	}
+	k.RunUntil(3 * Second)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3s) fired %d events, want 3", len(fired))
+	}
+	if k.Now() != 3*Second {
+		t.Errorf("Now() = %v, want 3s", k.Now())
+	}
+	k.RunUntil(10 * Second)
+	if len(fired) != 5 {
+		t.Errorf("second RunUntil fired %d total, want 5", len(fired))
+	}
+	if k.Now() != 10*Second {
+		t.Errorf("clock should advance to the deadline, got %v", k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.Schedule(Time(i)*Second, func(Time) {
+			count++
+			if count == 4 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 4 {
+		t.Errorf("Stop did not halt the loop: count = %d", count)
+	}
+	// The kernel must be restartable after Stop.
+	k.Run()
+	if count != 10 {
+		t.Errorf("resume after Stop ran %d total, want 10", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := New()
+	var at []Time
+	tk := k.Every(Second, func(now Time) { at = append(at, now) })
+	k.Schedule(3500*Millisecond, func(Time) { tk.Stop() })
+	k.Run()
+	if len(at) != 3 {
+		t.Fatalf("ticker fired %d times, want 3: %v", len(at), at)
+	}
+	for i, got := range at {
+		if want := Time(i+1) * Second; got != want {
+			t.Errorf("tick %d at %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	k := New()
+	n := 0
+	var tk *Ticker
+	tk = k.Every(Second, func(Time) {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	k.Run()
+	if n != 2 {
+		t.Errorf("ticker fired %d times after self-stop, want 2", n)
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	k := New()
+	k.Schedule(Second, func(Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		k.Run()
+	})
+	k.Run()
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	k := New()
+	depth := 0
+	var grow func(now Time)
+	grow = func(now Time) {
+		depth++
+		if depth < 100 {
+			k.Schedule(Millisecond, grow)
+		}
+	}
+	k.Schedule(0, grow)
+	k.Run()
+	if depth != 100 {
+		t.Errorf("chained scheduling depth = %d, want 100", depth)
+	}
+	if k.Fired() != 100 {
+		t.Errorf("Fired() = %d, want 100", k.Fired())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := New()
+		var times []Time
+		for _, d := range delays {
+			k.Schedule(Time(d)*Millisecond, func(now Time) { times = append(times, now) })
+		}
+		k.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSourceReproducible(t *testing.T) {
+	a := NewSource(42).Stream("traffic")
+	b := NewSource(42).Stream("traffic")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, name) should give identical streams")
+		}
+	}
+}
+
+func TestSourceIndependentStreams(t *testing.T) {
+	s := NewSource(42)
+	a, b := s.Stream("traffic"), s.Stream("packets")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams for different names look identical (%d/100 equal draws)", same)
+	}
+}
+
+func TestExp(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := Exp(r, 600)
+		if v < 0 {
+			t.Fatal("Exp returned negative value")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 580 || mean > 620 {
+		t.Errorf("Exp mean = %v, want ~600", mean)
+	}
+	if Exp(r, 0) != 0 || Exp(r, -1) != 0 {
+		t.Error("Exp with non-positive mean should return 0")
+	}
+}

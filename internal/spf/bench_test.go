@@ -1,0 +1,51 @@
+package spf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// The reason the PSN ran an *incremental* SPF: repairing the tree after a
+// single cost change is far cheaper than recomputing it. These benchmarks
+// quantify that on the ARPANET-like graph.
+
+func arpanetCosts(g *topology.Graph) []float64 {
+	cs := make([]float64, g.NumLinks())
+	for i := range cs {
+		cs[i] = 30
+	}
+	return cs
+}
+
+func BenchmarkFullSPF(b *testing.B) {
+	g := topology.Arpanet()
+	costs := arpanetCosts(g)
+	rnd := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		costs[rnd.Intn(len(costs))] = 30 + float64(rnd.Intn(60))
+		Compute(g, 0, func(l topology.LinkID) float64 { return costs[l] })
+	}
+}
+
+func BenchmarkIncrementalSPF(b *testing.B) {
+	g := topology.Arpanet()
+	r := NewIncrementalRouter(g, 0, arpanetCosts(g))
+	rnd := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := topology.LinkID(rnd.Intn(g.NumLinks()))
+		r.Update(l, 30+float64(rnd.Intn(60)))
+	}
+}
+
+func BenchmarkMultipathDAG(b *testing.B) {
+	g := topology.Arpanet()
+	costs := arpanetCosts(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeDAG(g, 0, func(l topology.LinkID) float64 { return costs[l] }, 15)
+	}
+}

@@ -1,0 +1,215 @@
+package spf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func unitCosts(g *topology.Graph) []float64 {
+	cs := make([]float64, g.NumLinks())
+	for i := range cs {
+		cs[i] = 1
+	}
+	return cs
+}
+
+func TestIncrementalMatchesScratchSimple(t *testing.T) {
+	g, ids := diamond()
+	a, d := g.MustLookup("A"), g.MustLookup("D")
+	r := NewIncrementalRouter(g, a, unitCosts(g))
+	if r.Tree().Dist(d) != 2 {
+		t.Fatalf("initial dist = %v", r.Tree().Dist(d))
+	}
+	// Raise the in-tree path: route must move and dist stay 2.
+	r.Update(ids["ab"], 10)
+	r.Update(ids["bd"], 10)
+	if got := r.Tree().Dist(d); got != 2 {
+		t.Errorf("dist after raising B path = %v, want 2 (via C)", got)
+	}
+	if r.Tree().NextHop(d) != ids["ac"] {
+		t.Error("route should go via C")
+	}
+	// Lower it back below the C path.
+	r.Update(ids["ab"], 0.4)
+	r.Update(ids["bd"], 0.4)
+	if got := r.Tree().Dist(d); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("dist after lowering B path = %v, want 0.8", got)
+	}
+	if r.Tree().NextHop(d) != ids["ab"] {
+		t.Error("route should go via B again")
+	}
+}
+
+func TestIncrementalSkipsNoEffectUpdates(t *testing.T) {
+	g, _ := diamond()
+	a := g.MustLookup("A")
+	r := NewIncrementalRouter(g, a, unitCosts(g))
+	full0, inc0, _, _ := r.Stats()
+
+	// Raising a non-parent link: skip.
+	var notParent topology.LinkID = topology.NoLink
+	for _, l := range g.Links() {
+		if r.Tree().Parent(l.To) != l.ID {
+			notParent = l.ID
+			break
+		}
+	}
+	r.Update(notParent, 7)
+	full1, inc1, skipped, _ := r.Stats()
+	if full1 != full0 || inc1 != inc0 {
+		t.Error("raising a non-parent link should neither recompute nor repair")
+	}
+	if skipped == 0 {
+		t.Error("skip counter should increment")
+	}
+	// A no-op update is free.
+	r.Update(notParent, 7)
+	if _, _, s2, _ := r.Stats(); s2 != skipped {
+		t.Error("equal-cost update should not even count as skipped")
+	}
+}
+
+func TestIncrementalSubtreeDetach(t *testing.T) {
+	// Line 0-1-2-3: raising link 1→2 detaches {2,3}; they must re-attach
+	// through the same (now expensive) link since there is no alternative.
+	g := topology.Line(4, topology.T56)
+	r := NewIncrementalRouter(g, 0, unitCosts(g))
+	l12, _ := g.FindTrunk(1, 2)
+	r.Update(l12, 5)
+	if got := r.Tree().Dist(3); got != 1+5+1 {
+		t.Errorf("dist(3) = %v, want 7", got)
+	}
+	if !r.Tree().Reachable(3) {
+		t.Error("node 3 must stay reachable")
+	}
+}
+
+func TestIncrementalPanics(t *testing.T) {
+	g, _ := diamond()
+	r := NewIncrementalRouter(g, 0, unitCosts(g))
+	for name, fn := range map[string]func(){
+		"bad initial": func() { NewIncrementalRouter(g, 0, make([]float64, g.NumLinks())) },
+		"wrong len":   func() { NewIncrementalRouter(g, 0, []float64{1}) },
+		"bad update":  func() { r.Update(0, math.Inf(1)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Property: after any sequence of single-link updates on random graphs,
+// the incremental tree's distances equal a from-scratch Dijkstra, and its
+// parent pointers are self-consistent (dist[from] + cost == dist[to]).
+func TestIncrementalEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, updates []uint16) bool {
+		g := topology.Random(10, 2.5, seed)
+		r := NewIncrementalRouter(g, 0, unitCosts(g))
+		costs := unitCosts(g)
+		for _, u := range updates {
+			l := topology.LinkID(int(u) % g.NumLinks())
+			c := 1 + float64(u%37)
+			r.Update(l, c)
+			costs[l] = c
+		}
+		scratch := Compute(g, 0, func(l topology.LinkID) float64 { return costs[l] })
+		for d := 0; d < g.NumNodes(); d++ {
+			dst := topology.NodeID(d)
+			if math.Abs(scratch.Dist(dst)-r.Tree().Dist(dst)) > 1e-9 {
+				return false
+			}
+			if dst == 0 {
+				continue
+			}
+			pl := r.Tree().Parent(dst)
+			if pl == topology.NoLink {
+				return !scratch.Reachable(dst)
+			}
+			from := g.Link(pl).From
+			if math.Abs(r.Tree().Dist(from)+costs[pl]-r.Tree().Dist(dst)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: next hops always follow a shortest path (the first link's far
+// end has dist = cost of that link from the root side).
+func TestIncrementalNextHopConsistencyProperty(t *testing.T) {
+	f := func(seed int64, updates []uint16) bool {
+		g := topology.Random(8, 3, seed)
+		r := NewIncrementalRouter(g, 0, unitCosts(g))
+		for _, u := range updates {
+			r.Update(topology.LinkID(int(u)%g.NumLinks()), 1+float64(u%19))
+		}
+		t := r.Tree()
+		for d := 1; d < g.NumNodes(); d++ {
+			dst := topology.NodeID(d)
+			if !t.Reachable(dst) {
+				continue
+			}
+			nh := t.NextHop(dst)
+			if nh == topology.NoLink || g.Link(nh).From != 0 {
+				return false
+			}
+			// Walk parents to the root; the first hop must match NextHop.
+			cur := dst
+			var first topology.LinkID
+			for cur != 0 {
+				first = t.Parent(cur)
+				cur = g.Link(first).From
+			}
+			if first != nh {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncrementalCheaperThanFull(t *testing.T) {
+	// The point of the incremental algorithm: repairs touch fewer nodes
+	// than |V| for local changes. Run many random updates on the ARPANET
+	// graph and check the average repair footprint is well under a full
+	// recomputation.
+	g := topology.Arpanet()
+	costs := make([]float64, g.NumLinks())
+	for i := range costs {
+		costs[i] = 30
+	}
+	r := NewIncrementalRouter(g, 0, costs)
+	rnd := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		l := topology.LinkID(rnd.Intn(g.NumLinks()))
+		r.Update(l, 30+float64(rnd.Intn(60)))
+	}
+	full, inc, skipped, touched := r.Stats()
+	if full != 1 {
+		t.Errorf("full recomputations = %d, want only the initial one", full)
+	}
+	if inc == 0 || skipped == 0 {
+		t.Errorf("expected a mix of repairs (%d) and skips (%d)", inc, skipped)
+	}
+	avgTouched := float64(touched) / float64(inc)
+	if avgTouched >= float64(g.NumNodes()) {
+		t.Errorf("average repair touched %.1f nodes — no better than full SPF (%d)",
+			avgTouched, g.NumNodes())
+	}
+	t.Logf("repairs %d, skips %d, avg nodes touched %.1f of %d", inc, skipped, avgTouched, g.NumNodes())
+}

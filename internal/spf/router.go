@@ -1,0 +1,185 @@
+package spf
+
+import (
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Router is one PSN's routing state: the link-cost database (identical at
+// every PSN once flooding converges) and the SPF tree rooted at the PSN.
+// It implements the incremental-SPF shortcut of §2.2: cost changes that
+// provably cannot alter the tree skip recomputation.
+type Router struct {
+	g     *topology.Graph
+	root  topology.NodeID
+	costs []float64
+	tree  *Tree
+
+	recomputes int64 // full Dijkstra runs, for the CPU-cost experiments
+	skipped    int64 // updates absorbed without recomputation
+}
+
+// NewRouter creates a router at root with every link at the given initial
+// cost.
+func NewRouter(g *topology.Graph, root topology.NodeID, initialCost float64) *Router {
+	if initialCost <= 0 {
+		panic("spf: initial cost must be positive")
+	}
+	costs := make([]float64, g.NumLinks())
+	for i := range costs {
+		costs[i] = initialCost
+	}
+	return NewRouterWithCosts(g, root, costs)
+}
+
+// NewRouterWithCosts creates a router at root with explicit per-link
+// initial costs (copied) — the network bootstrap, where every PSN starts
+// from the same initial cost database.
+func NewRouterWithCosts(g *topology.Graph, root topology.NodeID, costs []float64) *Router {
+	if len(costs) != g.NumLinks() {
+		panic("spf: costs length mismatch")
+	}
+	for _, c := range costs {
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			panic("spf: link cost must be positive and finite")
+		}
+	}
+	r := &Router{
+		g:     g,
+		root:  root,
+		costs: append([]float64(nil), costs...),
+	}
+	r.recompute()
+	return r
+}
+
+// Cost returns the router's current belief about a link's cost.
+func (r *Router) Cost(l topology.LinkID) float64 { return r.costs[l] }
+
+// Tree returns the current SPF tree. The tree is replaced, never mutated,
+// so callers may hold it across updates.
+func (r *Router) Tree() *Tree { return r.tree }
+
+// Recomputes returns how many full SPF computations have run — the proxy
+// for the "increased PSN CPU utilization" of §3.3.
+func (r *Router) Recomputes() int64 { return r.recomputes }
+
+// Skipped returns how many updates were absorbed without recomputation.
+func (r *Router) Skipped() int64 { return r.skipped }
+
+// Update applies a routing update for one link and reports whether the
+// routing tree changed. The incremental shortcuts:
+//
+//   - unchanged cost: nothing to do;
+//   - a cost increase on a link not in the tree cannot affect any shortest
+//     path (§2.2's example) — record it and skip;
+//   - a cost decrease on link (u,v) that still satisfies
+//     dist(u) + newCost >= dist(v) cannot create a shorter path through
+//     the link — record it and skip.
+//
+// Everything else triggers a full recomputation (the real PSN patched the
+// affected subtree; a full Dijkstra is behaviourally identical and the
+// recompute counter still distinguishes the cheap from the costly case).
+func (r *Router) Update(l topology.LinkID, newCost float64) bool {
+	if newCost <= 0 || math.IsNaN(newCost) || math.IsInf(newCost, 0) {
+		panic("spf: link cost must be positive and finite")
+	}
+	old := r.costs[l]
+	if newCost == old {
+		return false
+	}
+	r.costs[l] = newCost
+	link := r.g.Link(l)
+	if newCost > old {
+		if !r.tree.InTree(l) {
+			r.skipped++
+			return false
+		}
+	} else {
+		du, dv := r.tree.Dist(link.From), r.tree.Dist(link.To)
+		if !math.IsInf(du, 1) && du+newCost >= dv {
+			r.skipped++
+			return false
+		}
+	}
+	oldTree := r.tree
+	r.recompute()
+	return !treesEqual(oldTree, r.tree)
+}
+
+// UpdateBatch applies several (link, cost) updates at once — one routing
+// update packet can carry all of a PSN's link costs — recomputing at most
+// once. It reports whether the tree changed.
+func (r *Router) UpdateBatch(links []topology.LinkID, costs []float64) bool {
+	if len(links) != len(costs) {
+		panic("spf: UpdateBatch length mismatch")
+	}
+	need := false
+	for i, l := range links {
+		c := costs[i]
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			panic("spf: link cost must be positive and finite")
+		}
+		old := r.costs[l]
+		if c == old {
+			continue
+		}
+		r.costs[l] = c
+		if need {
+			continue
+		}
+		link := r.g.Link(l)
+		if c > old {
+			need = r.tree.InTree(l)
+		} else {
+			du, dv := r.tree.Dist(link.From), r.tree.Dist(link.To)
+			need = math.IsInf(du, 1) || du+c < dv
+		}
+		if !need {
+			r.skipped++
+		}
+	}
+	if !need {
+		return false
+	}
+	oldTree := r.tree
+	r.recompute()
+	return !treesEqual(oldTree, r.tree)
+}
+
+func (r *Router) recompute() {
+	r.recomputes++
+	r.tree = Compute(r.g, r.root, func(l topology.LinkID) float64 { return r.costs[l] })
+}
+
+func treesEqual(a, b *Tree) bool {
+	for i := range a.nextHop {
+		if a.nextHop[i] != b.nextHop[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HopTree computes the min-hop tree from root (all links cost 1); shared by
+// the Table 1 "minimum path" indicator and the equilibrium model.
+func HopTree(g *topology.Graph, root topology.NodeID) *Tree {
+	return Compute(g, root, func(topology.LinkID) float64 { return 1 })
+}
+
+// AllPairsHops returns the min-hop distance matrix as [src][dst] hop
+// counts (-1 when unreachable).
+func AllPairsHops(g *topology.Graph) [][]int {
+	n := g.NumNodes()
+	m := make([][]int, n)
+	for s := 0; s < n; s++ {
+		t := HopTree(g, topology.NodeID(s))
+		row := make([]int, n)
+		for d := 0; d < n; d++ {
+			row[d] = t.Hops(g, topology.NodeID(d))
+		}
+		m[s] = row
+	}
+	return m
+}

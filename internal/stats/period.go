@@ -1,0 +1,62 @@
+package stats
+
+// Oscillation-period estimation via autocorrelation, used to test the
+// paper's claim that the HNM's averaging filter "increases the period of
+// routing oscillations, thus reducing routing overhead" (§4.3).
+
+// Autocorrelation returns the normalized autocorrelation of ys at the
+// given lag: r(k) = Σ (y_t−m)(y_{t+k}−m) / Σ (y_t−m)², in [-1, 1].
+// Returns 0 for lags outside (0, n) or constant series.
+func Autocorrelation(ys []float64, lag int) float64 {
+	n := len(ys)
+	if lag <= 0 || lag >= n {
+		return 0
+	}
+	m := 0.0
+	for _, y := range ys {
+		m += y
+	}
+	m /= float64(n)
+	var num, den float64
+	for t := 0; t < n; t++ {
+		d := ys[t] - m
+		den += d * d
+		if t+lag < n {
+			num += d * (ys[t+lag] - m)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// DominantPeriod estimates the period of an oscillating series as the lag
+// of the first local maximum of the autocorrelation that exceeds the
+// threshold (e.g. 0.2), searching lags in [2, maxLag]. It returns 0 when
+// no periodic structure is found — a constant or aperiodic series.
+func DominantPeriod(ys []float64, maxLag int, threshold float64) int {
+	if maxLag >= len(ys) {
+		maxLag = len(ys) - 1
+	}
+	prev := Autocorrelation(ys, 1)
+	rising := false
+	for lag := 2; lag <= maxLag; lag++ {
+		r := Autocorrelation(ys, lag)
+		switch {
+		case r > prev:
+			rising = true
+		case r < prev:
+			if rising && prev > threshold {
+				// prev was a local maximum above threshold.
+				return lag - 1
+			}
+			rising = false
+		}
+		prev = r
+	}
+	if rising && prev > threshold {
+		return maxLag
+	}
+	return 0
+}

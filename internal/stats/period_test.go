@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func sine(period int, n int) []float64 {
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = math.Sin(2 * math.Pi * float64(i) / float64(period))
+	}
+	return ys
+}
+
+func TestAutocorrelation(t *testing.T) {
+	ys := sine(20, 200)
+	// Perfect correlation at the period, anti-correlation at half.
+	if r := Autocorrelation(ys, 20); r < 0.85 {
+		t.Errorf("r(period) = %v, want ~0.9", r)
+	}
+	if r := Autocorrelation(ys, 10); r > -0.7 {
+		t.Errorf("r(period/2) = %v, want strongly negative", r)
+	}
+	// Edge cases.
+	if Autocorrelation(ys, 0) != 0 || Autocorrelation(ys, len(ys)) != 0 {
+		t.Error("out-of-range lags should return 0")
+	}
+	flat := []float64{3, 3, 3, 3}
+	if Autocorrelation(flat, 1) != 0 {
+		t.Error("constant series should return 0")
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	for _, period := range []int{8, 20, 35} {
+		got := DominantPeriod(sine(period, 400), 100, 0.2)
+		if got < period-1 || got > period+1 {
+			t.Errorf("DominantPeriod(sine %d) = %d", period, got)
+		}
+	}
+	// Aperiodic: a ramp has no local autocorrelation maximum.
+	ramp := make([]float64, 100)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	if got := DominantPeriod(ramp, 50, 0.2); got != 0 && got != 50 {
+		// A pure ramp's autocorrelation decays monotonically; accept 0
+		// (none found) — the maxLag fallback must not fire since r keeps
+		// falling.
+		t.Errorf("DominantPeriod(ramp) = %d, want 0", got)
+	}
+	if got := DominantPeriod([]float64{1, 2}, 10, 0.2); got != 0 {
+		t.Errorf("tiny series period = %d, want 0", got)
+	}
+}
+
+func TestDominantPeriodSquareWave(t *testing.T) {
+	// Square waves are what trunk-utilization flip-flops look like.
+	ys := make([]float64, 300)
+	for i := range ys {
+		if (i/15)%2 == 0 {
+			ys[i] = 1
+		}
+	}
+	got := DominantPeriod(ys, 100, 0.2)
+	if got < 28 || got > 32 {
+		t.Errorf("square-wave period = %d, want ~30", got)
+	}
+}

@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d, want 8", w.N())
+	}
+	if got := w.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if got := w.Var(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Var = %v, want %v", got, 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+	if got := w.Sum(); math.Abs(got-40) > 1e-9 {
+		t.Errorf("Sum = %v, want 40", got)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.StdDev() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford should report zeros")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Var() != 0 {
+		t.Error("variance of a single sample should be 0")
+	}
+	if w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Error("min/max of a single sample should equal it")
+	}
+}
+
+func TestWelfordAddN(t *testing.T) {
+	var w Welford
+	w.AddN(2, 3)
+	w.AddN(4, 1)
+	if w.N() != 4 || math.Abs(w.Mean()-2.5) > 1e-12 {
+		t.Errorf("AddN: n=%d mean=%v, want 4, 2.5", w.N(), w.Mean())
+	}
+}
+
+// Property: merging two accumulators equals accumulating the concatenation.
+func TestWelfordMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var wa, wb, all Welford
+		for _, x := range a {
+			wa.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			wb.Add(x)
+			all.Add(x)
+		}
+		wa.Merge(&wb)
+		if wa.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(all.Mean()))
+		if math.Abs(wa.Mean()-all.Mean()) > tol {
+			return false
+		}
+		return math.Abs(wa.Var()-all.Var()) <= 1e-4*(1+all.Var())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Merge(&b) // empty other: no-op
+	if a.N() != 1 {
+		t.Error("merging empty changed the accumulator")
+	}
+	b.Merge(&a) // empty receiver: copy
+	if b.N() != 1 || b.Mean() != 1 {
+		t.Error("merging into empty should copy")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Errorf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	if h.Count() != 10 {
+		t.Errorf("Count = %d, want 10", h.Count())
+	}
+	h.Add(-5)
+	h.Add(42)
+	u, o := h.Outliers()
+	if u != 1 || o != 1 {
+		t.Errorf("Outliers = %d, %d, want 1, 1", u, o)
+	}
+	if h.Bucket(0) != 2 || h.Bucket(9) != 2 {
+		t.Error("outliers should clamp into edge buckets")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 1.5 {
+		t.Errorf("median = %v, want ~50", q)
+	}
+	if q := h.Quantile(0.99); math.Abs(q-99) > 1.5 {
+		t.Errorf("p99 = %v, want ~99", q)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if empty.Quantile(0.5) != 0 {
+		t.Error("quantile of empty histogram should be 0")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid bounds should panic")
+		}
+	}()
+	NewHistogram(1, 1, 10)
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("util")
+	for i := 0; i < 4; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.MeanY(); got != (0+1+4+9)/4.0 {
+		t.Errorf("MeanY = %v", got)
+	}
+	min, max := s.MinMaxY()
+	if min != 0 || max != 9 {
+		t.Errorf("MinMaxY = %v, %v", min, max)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("e")
+	if s.MeanY() != 0 {
+		t.Error("MeanY of empty series should be 0")
+	}
+	min, max := s.MinMaxY()
+	if min != 0 || max != 0 {
+		t.Error("MinMaxY of empty series should be 0, 0")
+	}
+	if s.Crossings(1) != 0 {
+		t.Error("Crossings of empty series should be 0")
+	}
+}
+
+func TestSeriesCrossings(t *testing.T) {
+	s := NewSeries("osc")
+	// Square-ish wave around 0.5: crosses on every step.
+	ys := []float64{0.9, 0.1, 0.9, 0.1, 0.9}
+	for i, y := range ys {
+		s.Add(float64(i), y)
+	}
+	if got := s.Crossings(0.5); got != 4 {
+		t.Errorf("Crossings = %d, want 4", got)
+	}
+	flat := NewSeries("flat")
+	for i := 0; i < 5; i++ {
+		flat.Add(float64(i), 0.5)
+	}
+	if got := flat.Crossings(0.9); got != 0 {
+		t.Errorf("flat Crossings = %d, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ys := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(ys, 50); p != 3 {
+		t.Errorf("p50 = %v, want 3", p)
+	}
+	if p := Percentile(ys, 0); p != 1 {
+		t.Errorf("p0 = %v, want 1", p)
+	}
+	if p := Percentile(ys, 100); p != 5 {
+		t.Errorf("p100 = %v, want 5", p)
+	}
+	if p := Percentile(ys, 25); p != 2 {
+		t.Errorf("p25 = %v, want 2", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Error("percentile of empty should be 0")
+	}
+	// The input must not be mutated.
+	if ys[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(9)
+	if c.Value() != 10 {
+		t.Errorf("Value = %d, want 10", c.Value())
+	}
+	if r := c.Rate(5); r != 2 {
+		t.Errorf("Rate = %v, want 2", r)
+	}
+	if r := c.Rate(0); r != 0 {
+		t.Errorf("Rate(0) = %v, want 0", r)
+	}
+}
+
+func TestWelfordGaussian(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var w Welford
+	for i := 0; i < 100000; i++ {
+		w.Add(r.NormFloat64()*2 + 10)
+	}
+	if math.Abs(w.Mean()-10) > 0.05 {
+		t.Errorf("gaussian mean = %v, want ~10", w.Mean())
+	}
+	if math.Abs(w.StdDev()-2) > 0.05 {
+		t.Errorf("gaussian sd = %v, want ~2", w.StdDev())
+	}
+}

@@ -1,0 +1,115 @@
+package topology
+
+// This file defines the synthetic "ARPANET July 1987"-like topology used by
+// the Table 1 / Figure 7-13 experiments. The real July 1987 map is not in
+// the paper; this stand-in (see DESIGN.md, Substitutions) reproduces the
+// structural properties the paper's analysis depends on:
+//
+//   - rich alternate paths: average trunk degree ≈ 3, so that shedding a
+//     1-hop route can require up to ~8 hops (Figure 7);
+//   - heterogeneous trunking: mixed 9.6 and 56 kb/s lines, terrestrial and
+//     satellite (§4.4);
+//   - a continental spread with a small east-west cut where congestion
+//     concentrates (§3.3).
+//
+// Node names are 1980s ARPANET sites, used only as labels.
+
+type arpanetTrunk struct {
+	a, b string
+	lt   LineType
+	prop float64 // one-way propagation delay, seconds
+}
+
+var arpanetNodes = []string{
+	// West.
+	"SRI", "LBL", "AMES", "SUMEX", "XEROX", "UCLA", "ISI", "RAND", "UCSB", "UTAH",
+	// Central.
+	"GWC", "TEXAS", "COLLINS", "WISC", "ILLINOIS", "PURDUE", "ANL",
+	// East.
+	"CMU", "MIT", "BBN", "HARVARD", "LINCOLN", "NYU", "RUTGERS",
+	"ABERDEEN", "MITRE", "PENTAGON", "DCEC",
+	// Satellite sites.
+	"HAWAII", "LONDON",
+}
+
+var arpanetTrunks = []arpanetTrunk{
+	// West coast mesh.
+	{"SRI", "LBL", T56, 0.001},
+	{"SRI", "AMES", T56, 0.001},
+	{"LBL", "AMES", T9_6, 0.001},
+	{"AMES", "SUMEX", T56, 0.001},
+	{"SUMEX", "XEROX", T56, 0.001},
+	{"SRI", "UTAH", T56, 0.008},
+	{"XEROX", "UCLA", T56, 0.004},
+	{"UCLA", "ISI", T56, 0.001},
+	{"ISI", "RAND", T9_6, 0.001},
+	{"RAND", "UCSB", T9_6, 0.002},
+	{"UCSB", "UCLA", T56, 0.002},
+	// Hawaii: satellite, dual-homed.
+	{"AMES", "HAWAII", S9_6, 0.260},
+	{"ISI", "HAWAII", S9_6, 0.260},
+	// Cross-country trunks (the loaded cut).
+	{"UTAH", "COLLINS", T56, 0.010},
+	{"UCLA", "TEXAS", T56, 0.012},
+	{"SRI", "WISC", T56, 0.015},
+	// Central mesh.
+	{"COLLINS", "WISC", T9_6, 0.003},
+	{"WISC", "ILLINOIS", T56, 0.003},
+	{"ILLINOIS", "PURDUE", T9_6, 0.002},
+	{"PURDUE", "ANL", T56, 0.002},
+	{"ANL", "WISC", T56, 0.002},
+	{"TEXAS", "GWC", T56, 0.008},
+	{"GWC", "PURDUE", T56, 0.007},
+	{"TEXAS", "COLLINS", T9_6, 0.008},
+	// Central-to-east trunks.
+	{"ANL", "CMU", T56, 0.005},
+	{"ILLINOIS", "CMU", T9_6, 0.005},
+	{"GWC", "ABERDEEN", T56, 0.009},
+	// East coast mesh.
+	{"CMU", "LINCOLN", T56, 0.006},
+	{"CMU", "ABERDEEN", T56, 0.004},
+	{"LINCOLN", "MIT", T56, 0.001},
+	{"MIT", "BBN", T56, 0.001},
+	{"BBN", "HARVARD", T9_6, 0.001},
+	{"HARVARD", "MIT", T9_6, 0.001},
+	{"BBN", "LINCOLN", T56, 0.001},
+	{"MIT", "NYU", T56, 0.003},
+	{"NYU", "RUTGERS", T9_6, 0.001},
+	{"RUTGERS", "MITRE", T56, 0.003},
+	{"ABERDEEN", "MITRE", T9_6, 0.001},
+	{"MITRE", "PENTAGON", T56, 0.001},
+	{"PENTAGON", "DCEC", T56, 0.001},
+	{"DCEC", "ABERDEEN", T56, 0.001},
+	{"NYU", "PENTAGON", T56, 0.003},
+	// London: satellite, dual-homed.
+	{"BBN", "LONDON", S56, 0.260},
+	{"LINCOLN", "LONDON", S9_6, 0.260},
+}
+
+// Arpanet returns the synthetic ARPANET-like topology: 30 PSNs, 44 trunks,
+// mixed 9.6/56 kb/s terrestrial and satellite lines.
+func Arpanet() *Graph {
+	g := New()
+	for _, name := range arpanetNodes {
+		g.AddNode(name)
+	}
+	for _, t := range arpanetTrunks {
+		g.AddTrunkDelay(g.MustLookup(t.a), g.MustLookup(t.b), t.lt, t.prop)
+	}
+	return g
+}
+
+// ArpanetWeights returns per-node traffic weights for the gravity-model
+// matrix: large hosts (research hubs) source and sink more traffic than
+// leaf sites. Weights are relative; the traffic package normalizes them.
+func ArpanetWeights() map[string]float64 {
+	return map[string]float64{
+		"SRI": 3, "LBL": 1.5, "AMES": 2, "SUMEX": 1.5, "XEROX": 2,
+		"UCLA": 2.5, "ISI": 3, "RAND": 1.5, "UCSB": 1, "UTAH": 1.5,
+		"GWC": 1, "TEXAS": 1.5, "COLLINS": 1, "WISC": 1.5, "ILLINOIS": 1.5,
+		"PURDUE": 1, "ANL": 1.5, "CMU": 2.5, "MIT": 3, "BBN": 3,
+		"HARVARD": 1.5, "LINCOLN": 2, "NYU": 1.5, "RUTGERS": 1,
+		"ABERDEEN": 1.5, "MITRE": 2, "PENTAGON": 2.5, "DCEC": 2,
+		"HAWAII": 0.75, "LONDON": 1,
+	}
+}

@@ -1,0 +1,143 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TwoRegion builds the Figure 1 network: two regions of n nodes each,
+// joined by exactly two parallel inter-region trunks (links A and B) of the
+// given line type "with the same propagation delay and bandwidth". Inside
+// each region the nodes form a star around a hub plus a ring, giving every
+// intra-region pair a short path while forcing all inter-region traffic
+// over A or B.
+//
+// The returned link IDs are the west→east simplex links of trunks A and B.
+func TwoRegion(n int, interRegion LineType) (g *Graph, linkA, linkB LinkID) {
+	if n < 2 {
+		panic("topology: TwoRegion needs at least 2 nodes per region")
+	}
+	g = New()
+	west := make([]NodeID, n)
+	east := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		west[i] = g.AddNode(fmt.Sprintf("W%d", i))
+	}
+	for i := 0; i < n; i++ {
+		east[i] = g.AddNode(fmt.Sprintf("E%d", i))
+	}
+	buildRegion := func(ids []NodeID) {
+		for i := 1; i < len(ids); i++ {
+			g.AddTrunkDelay(ids[0], ids[i], T56, 0.002)
+		}
+		for i := 1; i+1 < len(ids); i++ {
+			g.AddTrunkDelay(ids[i], ids[i+1], T56, 0.002)
+		}
+	}
+	buildRegion(west)
+	buildRegion(east)
+	// The two inter-region trunks terminate on distinct border nodes so that
+	// neither is trivially preferred.
+	linkA, _ = g.AddTrunkDelay(west[0], east[0], interRegion, interRegion.DefaultPropDelay())
+	b := 1 % n
+	linkB, _ = g.AddTrunkDelay(west[b], east[b], interRegion, interRegion.DefaultPropDelay())
+	return g, linkA, linkB
+}
+
+// Ring builds an n-node cycle of the given line type.
+func Ring(n int, lt LineType) *Graph {
+	if n < 3 {
+		panic("topology: Ring needs at least 3 nodes")
+	}
+	g := New()
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("N%d", i))
+	}
+	for i := range ids {
+		g.AddTrunk(ids[i], ids[(i+1)%n], lt)
+	}
+	return g
+}
+
+// Grid builds a w×h mesh of the given line type; nodes are named "Rr.Cc".
+func Grid(w, h int, lt LineType) *Graph {
+	if w < 1 || h < 1 || w*h < 2 {
+		panic("topology: Grid needs at least 2 nodes")
+	}
+	g := New()
+	id := func(r, c int) NodeID { return NodeID(r*w + c) }
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			g.AddNode(fmt.Sprintf("R%d.C%d", r, c))
+		}
+	}
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			if c+1 < w {
+				g.AddTrunk(id(r, c), id(r, c+1), lt)
+			}
+			if r+1 < h {
+				g.AddTrunk(id(r, c), id(r+1, c), lt)
+			}
+		}
+	}
+	return g
+}
+
+// Line builds a linear chain of n nodes (useful for path-length tests).
+func Line(n int, lt LineType) *Graph {
+	if n < 2 {
+		panic("topology: Line needs at least 2 nodes")
+	}
+	g := New()
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("N%d", i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddTrunk(ids[i], ids[i+1], lt)
+	}
+	return g
+}
+
+// Random builds a connected random graph: a random spanning tree plus extra
+// trunks until the average node degree reaches avgDegree. Deterministic for
+// a given seed. Line types are drawn from lts (all T56 if empty).
+func Random(n int, avgDegree float64, seed int64, lts ...LineType) *Graph {
+	if n < 2 {
+		panic("topology: Random needs at least 2 nodes")
+	}
+	if avgDegree < 1 {
+		avgDegree = 1
+	}
+	if len(lts) == 0 {
+		lts = []LineType{T56}
+	}
+	r := rand.New(rand.NewSource(seed))
+	g := New()
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("N%d", i))
+	}
+	pick := func() LineType { return lts[r.Intn(len(lts))] }
+	// Random spanning tree: attach each node to a random earlier node.
+	for i := 1; i < n; i++ {
+		g.AddTrunk(ids[i], ids[r.Intn(i)], pick())
+	}
+	wantTrunks := int(avgDegree * float64(n) / 2)
+	if max := n * (n - 1) / 2; wantTrunks > max {
+		wantTrunks = max
+	}
+	for g.NumTrunks() < wantTrunks {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b {
+			continue
+		}
+		if _, dup := g.FindTrunk(ids[a], ids[b]); dup {
+			continue
+		}
+		g.AddTrunk(ids[a], ids[b], pick())
+	}
+	return g
+}

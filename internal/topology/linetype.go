@@ -1,0 +1,82 @@
+// Package topology models the network graph the routing algorithms run
+// over: PSN nodes, simplex links (the paper's "link" is the simplex medium
+// between two PSNs; a trunk is a pair of opposite links), and the line types
+// that parameterize the revised metric.
+//
+// The package also provides the topology builders used by the experiments:
+// the two-region network of Figure 1, rings, grids, seeded random networks,
+// and a synthetic "ARPANET July 1987"-like topology (see arpanet.go and
+// DESIGN.md for the substitution rationale).
+package topology
+
+import "fmt"
+
+// LineType identifies one of the (up to eight) line configurations a trunk
+// can have (§4.1: "Up to eight different line-types are allowed"). The
+// metric's normalization parameters are tabled per line type.
+type LineType int
+
+// The eight line types used in this reproduction. T = terrestrial,
+// S = satellite; the number is the trunk bandwidth in kb/s. 112 kb/s models
+// a multi-trunk (2×56) line.
+const (
+	T9_6 LineType = iota
+	S9_6
+	T19_2
+	T50
+	T56
+	S56
+	T112
+	S112
+	numLineTypes
+)
+
+// NumLineTypes is the number of defined line types.
+const NumLineTypes = int(numLineTypes)
+
+type lineTypeInfo struct {
+	name      string
+	bandwidth float64 // bits per second
+	satellite bool
+}
+
+var lineTypes = [numLineTypes]lineTypeInfo{
+	T9_6:  {"9.6T", 9600, false},
+	S9_6:  {"9.6S", 9600, true},
+	T19_2: {"19.2T", 19200, false},
+	T50:   {"50T", 50000, false},
+	T56:   {"56T", 56000, false},
+	S56:   {"56S", 56000, true},
+	T112:  {"112T", 112000, false},
+	S112:  {"112S", 112000, true},
+}
+
+// Valid reports whether lt is one of the defined line types.
+func (lt LineType) Valid() bool { return lt >= 0 && lt < numLineTypes }
+
+func (lt LineType) info() lineTypeInfo {
+	if !lt.Valid() {
+		panic(fmt.Sprintf("topology: invalid line type %d", int(lt)))
+	}
+	return lineTypes[lt]
+}
+
+// Bandwidth returns the trunk bandwidth in bits per second.
+func (lt LineType) Bandwidth() float64 { return lt.info().bandwidth }
+
+// Satellite reports whether the line is a satellite link.
+func (lt LineType) Satellite() bool { return lt.info().satellite }
+
+// String returns the short name used in reports, e.g. "56T".
+func (lt LineType) String() string { return lt.info().name }
+
+// DefaultPropDelay returns a typical one-way propagation delay in seconds
+// for the line type: a cross-country-ish 10 ms for terrestrial lines and
+// the geostationary ~260 ms for satellite lines. Individual links may
+// override this with their configured propagation delay.
+func (lt LineType) DefaultPropDelay() float64 {
+	if lt.Satellite() {
+		return 0.260
+	}
+	return 0.010
+}

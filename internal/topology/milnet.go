@@ -1,0 +1,93 @@
+package topology
+
+// This file defines a synthetic "MILNET 1987"-like topology. The paper
+// reports that the revised metric "has been successfully deployed in
+// several major networks, including the MILNET" and that "both use
+// satellite and multi-trunk lines, while the MILNET also uses different
+// link bandwidths" (§4.4). The stand-in therefore differs from the
+// ARPANET-like graph in exactly those ways: a larger share of slow (9.6
+// and 19.2 kb/s) tails, several satellite hops (Europe and the Pacific),
+// and a few 112 kb/s multi-trunk backbone lines. Site names are 1980s
+// military installations, used only as labels.
+
+var milnetNodes = []string{
+	// CONUS backbone.
+	"PENTAGON2", "SAC", "NORAD", "ANDREWS", "SCOTT", "GUNTER",
+	"ROBINS", "TINKER", "HILL", "MCCLELLAN", "TRAVIS", "BRAGG",
+	"BENNING", "HOOD", "RILEY", "LEWIS", "MONMOUTH", "HUACHUCA",
+	"DDN1", "DDN2",
+	// Overseas (satellite).
+	"CROUGHTON", "RAMSTEIN", "CLARK", "HICKAM", "YOKOTA", "KUNIA",
+}
+
+var milnetTrunks = []arpanetTrunk{
+	// Multi-trunk backbone ring.
+	{"PENTAGON2", "ANDREWS", T112, 0.001},
+	{"ANDREWS", "MONMOUTH", T56, 0.002},
+	{"MONMOUTH", "DDN1", T56, 0.002},
+	{"DDN1", "SCOTT", T112, 0.006},
+	{"SCOTT", "SAC", T56, 0.004},
+	{"SAC", "NORAD", T56, 0.004},
+	{"NORAD", "HILL", T56, 0.003},
+	{"HILL", "MCCLELLAN", T56, 0.004},
+	{"MCCLELLAN", "TRAVIS", T112, 0.001},
+	{"TRAVIS", "LEWIS", T56, 0.005},
+	{"LEWIS", "DDN2", T56, 0.008},
+	{"DDN2", "SAC", T56, 0.006},
+	{"PENTAGON2", "DDN1", T56, 0.005},
+	// Southern chain, slower lines.
+	{"PENTAGON2", "BRAGG", T19_2, 0.002},
+	{"BRAGG", "BENNING", T9_6, 0.002},
+	{"BENNING", "GUNTER", T19_2, 0.001},
+	{"GUNTER", "ROBINS", T9_6, 0.001},
+	{"ROBINS", "ANDREWS", T19_2, 0.003},
+	{"GUNTER", "HOOD", T19_2, 0.005},
+	{"HOOD", "TINKER", T9_6, 0.002},
+	{"TINKER", "RILEY", T9_6, 0.002},
+	{"RILEY", "SCOTT", T19_2, 0.003},
+	{"HOOD", "HUACHUCA", T19_2, 0.004},
+	{"HUACHUCA", "MCCLELLAN", T19_2, 0.005},
+	// Redundant cross links.
+	{"TINKER", "SAC", T56, 0.003},
+	{"BRAGG", "DDN1", T56, 0.003},
+	{"HUACHUCA", "NORAD", T9_6, 0.004},
+	// Europe via satellite, dual-homed.
+	{"ANDREWS", "CROUGHTON", S56, 0.260},
+	{"PENTAGON2", "RAMSTEIN", S56, 0.260},
+	{"CROUGHTON", "RAMSTEIN", T9_6, 0.004},
+	// Pacific via satellite.
+	{"TRAVIS", "HICKAM", S56, 0.260},
+	{"MCCLELLAN", "KUNIA", S9_6, 0.260},
+	{"HICKAM", "KUNIA", T19_2, 0.001},
+	{"HICKAM", "CLARK", S9_6, 0.260},
+	{"HICKAM", "YOKOTA", S9_6, 0.260},
+	{"CLARK", "YOKOTA", T9_6, 0.009},
+}
+
+// Milnet returns the synthetic MILNET-like topology: 26 nodes, 36 trunks,
+// with a heavier share of slow tails and satellite hops than the
+// ARPANET-like graph.
+func Milnet() *Graph {
+	g := New()
+	for _, name := range milnetNodes {
+		g.AddNode(name)
+	}
+	for _, t := range milnetTrunks {
+		g.AddTrunkDelay(g.MustLookup(t.a), g.MustLookup(t.b), t.lt, t.prop)
+	}
+	return g
+}
+
+// MilnetWeights returns gravity-model traffic weights for Milnet: the
+// backbone hubs and overseas gateways move the most traffic.
+func MilnetWeights() map[string]float64 {
+	return map[string]float64{
+		"PENTAGON2": 3, "SAC": 2.5, "NORAD": 2, "ANDREWS": 2, "SCOTT": 2,
+		"GUNTER": 1.5, "ROBINS": 1, "TINKER": 1.5, "HILL": 1,
+		"MCCLELLAN": 2, "TRAVIS": 2, "BRAGG": 1.5, "BENNING": 1,
+		"HOOD": 1.5, "RILEY": 1, "LEWIS": 1.5, "MONMOUTH": 1.5,
+		"HUACHUCA": 1, "DDN1": 2, "DDN2": 1.5,
+		"CROUGHTON": 1.5, "RAMSTEIN": 1.5, "CLARK": 1, "HICKAM": 1.5,
+		"YOKOTA": 1, "KUNIA": 0.75,
+	}
+}

@@ -1,0 +1,60 @@
+package topology
+
+import "testing"
+
+func TestMilnet(t *testing.T) {
+	g := Milnet()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumNodes() != 26 {
+		t.Errorf("NumNodes = %d, want 26", g.NumNodes())
+	}
+	if g.NumTrunks() != 36 {
+		t.Errorf("NumTrunks = %d, want 36", g.NumTrunks())
+	}
+	// §4.4 properties: different link bandwidths, satellite, multi-trunk.
+	byType := map[LineType]int{}
+	for tr := 0; tr < g.NumTrunks(); tr++ {
+		byType[g.Link(LinkID(2*tr)).Type]++
+	}
+	if byType[T112] < 2 {
+		t.Error("MILNET should have multi-trunk (112 kb/s) lines")
+	}
+	if byType[S56]+byType[S9_6] < 5 {
+		t.Error("MILNET should have several satellite hops")
+	}
+	slow := byType[T9_6] + byType[T19_2] + byType[S9_6]
+	if slow < 12 {
+		t.Errorf("MILNET should be dominated by slow tails, got %d", slow)
+	}
+	// Weights cover every node.
+	w := MilnetWeights()
+	if len(w) != g.NumNodes() {
+		t.Errorf("weights entries = %d, want %d", len(w), g.NumNodes())
+	}
+	for name := range w {
+		if _, ok := g.Lookup(name); !ok {
+			t.Errorf("weight for unknown node %q", name)
+		}
+	}
+}
+
+func TestMilnetSurvivesSingleTrunkFailure(t *testing.T) {
+	for skip := 0; skip < len(milnetTrunks); skip++ {
+		g := New()
+		for _, name := range milnetNodes {
+			g.AddNode(name)
+		}
+		for i, tr := range milnetTrunks {
+			if i == skip {
+				continue
+			}
+			g.AddTrunkDelay(g.MustLookup(tr.a), g.MustLookup(tr.b), tr.lt, tr.prop)
+		}
+		if !g.Connected() {
+			t.Errorf("removing trunk %d (%s-%s) disconnects MILNET",
+				skip, milnetTrunks[skip].a, milnetTrunks[skip].b)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineTypes(t *testing.T) {
+	cases := []struct {
+		lt        LineType
+		name      string
+		bandwidth float64
+		satellite bool
+	}{
+		{T9_6, "9.6T", 9600, false},
+		{S9_6, "9.6S", 9600, true},
+		{T19_2, "19.2T", 19200, false},
+		{T50, "50T", 50000, false},
+		{T56, "56T", 56000, false},
+		{S56, "56S", 56000, true},
+		{T112, "112T", 112000, false},
+		{S112, "112S", 112000, true},
+	}
+	if len(cases) != NumLineTypes {
+		t.Fatalf("expected %d line types in test table", NumLineTypes)
+	}
+	for _, c := range cases {
+		if c.lt.String() != c.name {
+			t.Errorf("%v String = %q, want %q", c.lt, c.lt.String(), c.name)
+		}
+		if c.lt.Bandwidth() != c.bandwidth {
+			t.Errorf("%v Bandwidth = %v, want %v", c.lt, c.lt.Bandwidth(), c.bandwidth)
+		}
+		if c.lt.Satellite() != c.satellite {
+			t.Errorf("%v Satellite = %v", c.lt, c.lt.Satellite())
+		}
+		if !c.lt.Valid() {
+			t.Errorf("%v should be valid", c.lt)
+		}
+	}
+	if LineType(-1).Valid() || LineType(NumLineTypes).Valid() {
+		t.Error("out-of-range line types should be invalid")
+	}
+	if !T56.Satellite() && S56.DefaultPropDelay() <= T56.DefaultPropDelay() {
+		t.Error("satellite propagation delay should exceed terrestrial")
+	}
+}
+
+func TestInvalidLineTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bandwidth on invalid line type should panic")
+		}
+	}()
+	LineType(99).Bandwidth()
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	c := g.AddNode("C")
+	ab, ba := g.AddTrunk(a, b, T56)
+	g.AddTrunk(b, c, T9_6)
+
+	if g.NumNodes() != 3 || g.NumTrunks() != 2 || g.NumLinks() != 4 {
+		t.Fatalf("counts = %d nodes, %d trunks, %d links",
+			g.NumNodes(), g.NumTrunks(), g.NumLinks())
+	}
+	if g.Link(ab).From != a || g.Link(ab).To != b {
+		t.Error("a→b link endpoints wrong")
+	}
+	if g.Link(ab).Reverse() != ba || g.Link(ba).Reverse() != ab {
+		t.Error("Reverse pairing wrong")
+	}
+	if id, ok := g.Lookup("B"); !ok || id != b {
+		t.Error("Lookup failed")
+	}
+	if _, ok := g.Lookup("Z"); ok {
+		t.Error("Lookup of unknown name should fail")
+	}
+	if g.Degree(b) != 2 {
+		t.Errorf("Degree(B) = %d, want 2", g.Degree(b))
+	}
+	if id, ok := g.FindTrunk(a, b); !ok || id != ab {
+		t.Error("FindTrunk(a,b) failed")
+	}
+	if _, ok := g.FindTrunk(a, c); ok {
+		t.Error("FindTrunk(a,c) should fail")
+	}
+	if len(g.In(b)) != 2 || len(g.Out(b)) != 2 {
+		t.Error("In/Out adjacency wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty node name":  func() { New().AddNode("") },
+		"duplicate name":   func() { g := New(); g.AddNode("A"); g.AddNode("A") },
+		"unknown node":     func() { g := New(); a := g.AddNode("A"); g.AddTrunk(a, 5, T56) },
+		"self loop":        func() { g := New(); a := g.AddNode("A"); g.AddTrunk(a, a, T56) },
+		"bad line type":    func() { g := New(); a, b := g.AddNode("A"), g.AddNode("B"); g.AddTrunk(a, b, LineType(99)) },
+		"negative prop":    func() { g := New(); a, b := g.AddNode("A"), g.AddNode("B"); g.AddTrunkDelay(a, b, T56, -1) },
+		"unknown lookup":   func() { New().MustLookup("nope") },
+		"two-region small": func() { TwoRegion(1, T56) },
+		"ring small":       func() { Ring(2, T56) },
+		"grid small":       func() { Grid(1, 1, T56) },
+		"line small":       func() { Line(1, T56) },
+		"random small":     func() { Random(1, 2, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := New()
+	g.AddNode("A")
+	g.AddNode("B")
+	if g.Connected() {
+		t.Error("two isolated nodes should not be connected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate should reject a disconnected graph")
+	}
+	empty := New()
+	if !empty.Connected() {
+		t.Error("empty graph is vacuously connected")
+	}
+}
+
+func TestTwoRegion(t *testing.T) {
+	g, a, b := TwoRegion(4, T56)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumNodes() != 8 {
+		t.Errorf("NumNodes = %d, want 8", g.NumNodes())
+	}
+	la, lb := g.Link(a), g.Link(b)
+	if la.Type != T56 || lb.Type != T56 {
+		t.Error("inter-region links should be the requested type")
+	}
+	// Removing both inter-region trunks must disconnect the regions: verify
+	// every west-east path crosses A or B by checking A and B are the only
+	// trunks with endpoints in different regions.
+	westSide := func(n NodeID) bool { return strings.HasPrefix(g.Node(n).Name, "W") }
+	cross := 0
+	for tr := 0; tr < g.NumTrunks(); tr++ {
+		l := g.Link(LinkID(2 * tr))
+		if westSide(l.From) != westSide(l.To) {
+			cross++
+		}
+	}
+	if cross != 2 {
+		t.Errorf("inter-region trunks = %d, want exactly 2", cross)
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	if g := Ring(5, T9_6); g.NumTrunks() != 5 || g.Validate() != nil {
+		t.Error("Ring(5) wrong")
+	}
+	if g := Grid(3, 4, T56); g.NumNodes() != 12 || g.Validate() != nil {
+		t.Error("Grid(3,4) wrong")
+	}
+	// Grid trunk count: horizontal (w-1)*h + vertical w*(h-1).
+	if g := Grid(3, 4, T56); g.NumTrunks() != 2*4+3*3 {
+		t.Errorf("Grid(3,4) trunks = %d, want 17", g.NumTrunks())
+	}
+	if g := Line(6, T56); g.NumTrunks() != 5 || g.Validate() != nil {
+		t.Error("Line(6) wrong")
+	}
+}
+
+func TestRandomGraph(t *testing.T) {
+	g1 := Random(20, 3, 42, T56, T9_6)
+	g2 := Random(20, 3, 42, T56, T9_6)
+	if err := g1.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g1.NumTrunks() != g2.NumTrunks() {
+		t.Error("Random should be deterministic for a seed")
+	}
+	for i := 0; i < g1.NumLinks(); i++ {
+		if g1.Link(LinkID(i)) != g2.Link(LinkID(i)) {
+			t.Fatal("Random should produce identical graphs for a seed")
+		}
+	}
+	if g1.NumTrunks() < 19 {
+		t.Error("Random graph should have at least a spanning tree")
+	}
+	want := int(3 * 20 / 2)
+	if g1.NumTrunks() < want {
+		t.Errorf("Random graph trunks = %d, want >= %d", g1.NumTrunks(), want)
+	}
+}
+
+// Property: every Random graph is connected and properly trunk-paired.
+func TestRandomGraphProperty(t *testing.T) {
+	f := func(seed int64, n uint8, deg uint8) bool {
+		nodes := 2 + int(n)%40
+		degree := 1 + float64(deg%4)
+		g := Random(nodes, degree, seed)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArpanet(t *testing.T) {
+	g := Arpanet()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumNodes() != 30 {
+		t.Errorf("NumNodes = %d, want 30", g.NumNodes())
+	}
+	if g.NumTrunks() != 44 {
+		t.Errorf("NumTrunks = %d, want 44", g.NumTrunks())
+	}
+	// Structural properties the experiments rely on (see DESIGN.md).
+	var sat, slow int
+	for tr := 0; tr < g.NumTrunks(); tr++ {
+		l := g.Link(LinkID(2 * tr))
+		if l.Type.Satellite() {
+			sat++
+		}
+		if l.Type.Bandwidth() < 56000 {
+			slow++
+		}
+	}
+	if sat < 3 {
+		t.Errorf("satellite trunks = %d, want >= 3", sat)
+	}
+	if slow < 5 {
+		t.Errorf("sub-56k trunks = %d, want >= 5 (heterogeneous trunking)", slow)
+	}
+	avgDegree := 2 * float64(g.NumTrunks()) / float64(g.NumNodes())
+	if avgDegree < 2.5 || avgDegree > 3.5 {
+		t.Errorf("average degree = %v, want ~3 (alternate-path richness)", avgDegree)
+	}
+	// Every node in the weights map exists and vice versa.
+	w := ArpanetWeights()
+	if len(w) != g.NumNodes() {
+		t.Errorf("weights entries = %d, want %d", len(w), g.NumNodes())
+	}
+	for name, wt := range w {
+		if _, ok := g.Lookup(name); !ok {
+			t.Errorf("weight for unknown node %q", name)
+		}
+		if wt <= 0 {
+			t.Errorf("non-positive weight for %q", name)
+		}
+	}
+	if len(g.TrunkNames()) != g.NumTrunks() {
+		t.Error("TrunkNames length mismatch")
+	}
+}
+
+func TestArpanetSurvivesSingleTrunkFailure(t *testing.T) {
+	// The topology should remain connected after any single trunk is
+	// removed — the paper's routing "dynamically routes around down lines",
+	// which is only visible if there is a route left.
+	base := Arpanet()
+	for skip := 0; skip < base.NumTrunks(); skip++ {
+		g := New()
+		for _, name := range arpanetNodes {
+			g.AddNode(name)
+		}
+		for i, tr := range arpanetTrunks {
+			if i == skip {
+				continue
+			}
+			g.AddTrunkDelay(g.MustLookup(tr.a), g.MustLookup(tr.b), tr.lt, tr.prop)
+		}
+		if !g.Connected() {
+			t.Errorf("removing trunk %d (%s-%s) disconnects the network",
+				skip, arpanetTrunks[skip].a, arpanetTrunks[skip].b)
+		}
+	}
+}

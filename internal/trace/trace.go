@@ -1,0 +1,159 @@
+// Package trace provides a bounded event log for the simulator: routing
+// and loss events are appended to a fixed-capacity ring so long runs can
+// be diagnosed ("why did drops spike at t=412?") without unbounded memory.
+// The network emits events only when a ring is configured; a nil ring
+// costs one branch per event site.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// The event kinds the network emits.
+const (
+	PacketDropped   Kind = iota // buffer overflow (Figure 13's signal)
+	PacketNoRoute               // destination unreachable
+	PacketLooped                // TTL exceeded during a routing transient
+	UpdateOriginate             // a PSN flooded a routing update
+	LinkDown                    // trunk taken out of service
+	LinkUp                      // trunk restored
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case PacketDropped:
+		return "drop"
+	case PacketNoRoute:
+		return "no-route"
+	case PacketLooped:
+		return "loop"
+	case UpdateOriginate:
+		return "update"
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one logged occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Node topology.NodeID // the PSN involved (NoNode if not applicable)
+	Link topology.LinkID // the link involved (NoLink if not applicable)
+	Cost float64         // advertised cost for UpdateOriginate, else 0
+}
+
+// String renders one event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s node=%d link=%d", e.At, e.Kind, e.Node, e.Link)
+}
+
+// Ring is a fixed-capacity event log. The zero value is unusable; create
+// one with NewRing. A nil *Ring is safe to Add to (no-op), so callers can
+// emit unconditionally.
+type Ring struct {
+	events  []Event
+	next    int
+	wrapped bool
+	dropped int64 // events overwritten
+	byKind  [6]int64
+}
+
+// NewRing creates a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Ring{events: make([]Event, 0, capacity)}
+}
+
+// Add appends an event, overwriting the oldest when full. Safe on nil.
+func (r *Ring) Add(e Event) {
+	if r == nil {
+		return
+	}
+	if int(e.Kind) >= 0 && int(e.Kind) < len(r.byKind) {
+		r.byKind[e.Kind]++
+	}
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.next] = e
+	r.next = (r.next + 1) % cap(r.events)
+	r.wrapped = true
+	r.dropped++
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Overwritten returns how many events were lost to capacity.
+func (r *Ring) Overwritten() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Count returns the total number of events of the kind ever added,
+// including overwritten ones.
+func (r *Ring) Count(k Kind) int64 {
+	if r == nil || int(k) < 0 || int(k) >= len(r.byKind) {
+		return 0
+	}
+	return r.byKind[k]
+}
+
+// Events returns the retained events in chronological order (a copy).
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.events))
+	if r.wrapped {
+		out = append(out, r.events[r.next:]...)
+		out = append(out, r.events[:r.next]...)
+	} else {
+		out = append(out, r.events...)
+	}
+	return out
+}
+
+// OfKind returns the retained events of one kind, chronologically.
+func (r *Ring) OfKind(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events, one per line, most recent last.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

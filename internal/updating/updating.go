@@ -1,0 +1,314 @@
+// Package updating implements the updating protocol of the 1979 SPF
+// algorithm — Rosen, "The Updating Protocol of ARPANET's New Routing
+// Algorithm" (the paper's reference [13]): the mechanism that guarantees
+// "every node has accurate data on which to base its SPF computation".
+//
+// Three mechanisms make the flood reliable on lossy lines:
+//
+//   - per-line acknowledgment and retransmission: a node keeps
+//     retransmitting an update on each line until the neighbor
+//     acknowledges it;
+//   - a 6-bit circular sequence number per origin decides which of two
+//     updates is newer, with wraparound comparison over half the space;
+//   - aging: an origin's table entry expires if no update arrives for
+//     MaxAge periods, so a PSN that was restarted (and lost its sequence
+//     counter) is believed again no matter what number it restarts with.
+//
+// The engine is round-based: one Step is one retransmission interval. The
+// packet-level simulator in internal/network uses a simplified reliable
+// flood (its trunks do not lose routing packets); this package exists to
+// reproduce and test the protocol itself under loss, duplication and
+// restarts.
+package updating
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topology"
+)
+
+// SeqBits is the width of the circular sequence number space.
+const SeqBits = 6
+
+// SeqSpace is the number of distinct sequence values.
+const SeqSpace = 1 << SeqBits
+
+// MaxAge is the number of rounds an origin's entry survives without being
+// refreshed. A round models one retransmission interval (well under a
+// second in the real system) while entries aged out after about a minute,
+// so MaxAge is much larger than any flood takes to drain — entries must
+// never expire mid-flood.
+const MaxAge = 120
+
+// Newer reports whether circular sequence number a is newer than b:
+// a != b and a is within the half-space ahead of b. Exactly opposite
+// numbers (distance 32) are mutually "not newer" — the protocol treats
+// that ambiguous case conservatively.
+func Newer(a, b uint8) bool {
+	a &= SeqSpace - 1
+	b &= SeqSpace - 1
+	if a == b {
+		return false
+	}
+	d := (a - b) & (SeqSpace - 1)
+	return d < SeqSpace/2
+}
+
+// Update is one flooded routing update.
+type Update struct {
+	Origin topology.NodeID
+	Seq    uint8
+	Costs  []float64 // the origin's out-link costs, by position
+}
+
+// entry is one origin's slot in a node's update table.
+type entry struct {
+	seq   uint8
+	age   int
+	valid bool
+	u     *Update // the accepted update, kept for line-up resync
+}
+
+// Node is one PSN's protocol state.
+type Node struct {
+	id    topology.NodeID
+	table []entry
+
+	// pending[l] holds, per origin, the update awaiting acknowledgment on
+	// outgoing line l.
+	pending map[topology.LinkID]map[topology.NodeID]*Update
+
+	// Received counts accepted (new) updates; Duplicates counts
+	// retransmissions and floods that carried nothing new.
+	Received   int64
+	Duplicates int64
+}
+
+// Seq returns the newest sequence number accepted from origin, and whether
+// the entry is live.
+func (n *Node) Seq(origin topology.NodeID) (uint8, bool) {
+	e := n.table[origin]
+	return e.seq, e.valid
+}
+
+// Network is a round-based protocol engine over a topology with a given
+// per-transmission loss probability.
+type Network struct {
+	g     *topology.Graph
+	nodes []*Node
+	rng   *rand.Rand
+	loss  float64
+
+	seq  []uint8 // next sequence number per origin
+	down map[topology.LinkID]bool
+
+	// Transmissions counts every update copy put on a line (including
+	// retransmissions) — the bandwidth cost of reliability.
+	Transmissions int64
+}
+
+// New creates the engine. loss is the probability that any single update
+// transmission is lost (acknowledgments are modelled as the absence of the
+// state change a delivery causes, so a lost update simply stays pending).
+func New(g *topology.Graph, loss float64, seed int64) *Network {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if loss < 0 || loss >= 1 {
+		panic(fmt.Sprintf("updating: loss %v out of [0,1)", loss))
+	}
+	nw := &Network{
+		g:    g,
+		rng:  rand.New(rand.NewSource(seed)),
+		loss: loss,
+		seq:  make([]uint8, g.NumNodes()),
+		down: make(map[topology.LinkID]bool),
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		nw.nodes = append(nw.nodes, &Node{
+			id:      topology.NodeID(i),
+			table:   make([]entry, g.NumNodes()),
+			pending: make(map[topology.LinkID]map[topology.NodeID]*Update),
+		})
+	}
+	return nw
+}
+
+// Node returns one PSN's protocol state.
+func (nw *Network) Node(id topology.NodeID) *Node { return nw.nodes[id] }
+
+// Originate has a node issue its next update, installing it locally and
+// queueing it for transmission on all its lines.
+func (nw *Network) Originate(origin topology.NodeID, costs []float64) *Update {
+	nw.seq[origin] = (nw.seq[origin] + 1) & (SeqSpace - 1)
+	u := &Update{Origin: origin, Seq: nw.seq[origin], Costs: costs}
+	n := nw.nodes[origin]
+	n.install(u)
+	nw.enqueue(n, u, topology.NoLink)
+	return u
+}
+
+// Restart clears a node's sequence counter and table — the PSN lost its
+// memory. Its next update starts from sequence 1; the rest of the network
+// accepts it once their aged entries expire.
+func (nw *Network) Restart(id topology.NodeID) {
+	nw.seq[id] = 0
+	n := nw.nodes[id]
+	n.table = make([]entry, nw.g.NumNodes())
+	n.pending = make(map[topology.LinkID]map[topology.NodeID]*Update)
+}
+
+func (n *Node) install(u *Update) {
+	n.table[u.Origin] = entry{seq: u.Seq, valid: true, u: u}
+}
+
+// wants reports whether the node would accept this update as news.
+// An invalid (aged-out or empty) entry accepts anything.
+func (n *Node) wants(u *Update) bool {
+	e := n.table[u.Origin]
+	return !e.valid || Newer(u.Seq, e.seq)
+}
+
+// enqueue queues u for reliable transmission on every line of n except the
+// one it arrived on.
+func (nw *Network) enqueue(n *Node, u *Update, arrival topology.LinkID) {
+	var skip topology.LinkID = topology.NoLink
+	if arrival != topology.NoLink {
+		skip = nw.g.Link(arrival).Reverse()
+	}
+	for _, l := range nw.g.Out(n.id) {
+		if l == skip {
+			continue
+		}
+		m := n.pending[l]
+		if m == nil {
+			m = make(map[topology.NodeID]*Update)
+			n.pending[l] = m
+		}
+		// A newer update from the same origin supersedes an unacked older
+		// one; there is never a reason to deliver the stale version.
+		m[u.Origin] = u
+	}
+}
+
+// Step runs one retransmission round: every pending update is transmitted
+// once on its line; lost copies stay pending, delivered copies are
+// processed (and implicitly acknowledged — removed from pending). It also
+// ages every table entry. Step reports whether any transmission remained
+// pending afterwards.
+func (nw *Network) Step() bool {
+	type delivery struct {
+		to      *Node
+		via     topology.LinkID
+		u       *Update
+		from    *Node
+		fromKey topology.LinkID
+	}
+	var deliveries []delivery
+	for _, n := range nw.nodes {
+		for l, m := range n.pending {
+			if nw.down[l] {
+				continue // pending copies wait out the outage
+			}
+			to := nw.nodes[nw.g.Link(l).To]
+			for _, u := range m {
+				nw.Transmissions++
+				if nw.rng.Float64() < nw.loss {
+					continue // lost; stays pending
+				}
+				deliveries = append(deliveries, delivery{to: to, via: l, u: u, from: n, fromKey: l})
+			}
+		}
+	}
+	// Process deliveries after the transmission sweep (a round is
+	// simultaneous on all lines).
+	for _, d := range deliveries {
+		// Acknowledged: the sender stops retransmitting this copy
+		// (unless a newer one replaced it meanwhile).
+		if cur := d.from.pending[d.fromKey][d.u.Origin]; cur == d.u {
+			delete(d.from.pending[d.fromKey], d.u.Origin)
+		}
+		if d.to.wants(d.u) {
+			d.to.Received++
+			d.to.install(d.u)
+			nw.enqueue(d.to, d.u, d.via)
+		} else {
+			d.to.Duplicates++
+		}
+	}
+	// Aging.
+	pendingLeft := false
+	for _, n := range nw.nodes {
+		for o := range n.table {
+			if !n.table[o].valid {
+				continue
+			}
+			if topology.NodeID(o) == n.id {
+				continue // a node never ages out its own entry
+			}
+			n.table[o].age++
+			if n.table[o].age >= MaxAge {
+				n.table[o] = entry{}
+			}
+		}
+		for l, m := range n.pending {
+			if len(m) > 0 && !nw.down[l] {
+				pendingLeft = true
+			}
+		}
+	}
+	return pendingLeft
+}
+
+// Converged reports whether every node's entry for origin matches the
+// origin's current sequence number.
+func (nw *Network) Converged(origin topology.NodeID) bool {
+	want := nw.seq[origin]
+	for _, n := range nw.nodes {
+		e := n.table[origin]
+		if !e.valid || e.seq != want {
+			return false
+		}
+	}
+	return true
+}
+
+// SetLineDown takes both directions of a line out of service: transmission
+// on it stops; pending copies are held for retry.
+func (nw *Network) SetLineDown(l topology.LinkID) {
+	nw.down[l] = true
+	nw.down[nw.g.Link(l).Reverse()] = true
+}
+
+// SetLineUp restores a line. Per the protocol, both endpoints resynchronize
+// the new neighbor by queueing their *entire* update tables on the line —
+// the neighbor may have missed arbitrary updates during the outage.
+func (nw *Network) SetLineUp(l topology.LinkID) {
+	for _, id := range []topology.LinkID{l, nw.g.Link(l).Reverse()} {
+		delete(nw.down, id)
+		from := nw.nodes[nw.g.Link(id).From]
+		for _, e := range from.table {
+			if !e.valid || e.u == nil {
+				continue
+			}
+			m := from.pending[id]
+			if m == nil {
+				m = make(map[topology.NodeID]*Update)
+				from.pending[id] = m
+			}
+			m[e.u.Origin] = e.u
+		}
+	}
+}
+
+// RunUntilQuiet steps until no retransmissions are pending or maxRounds is
+// reached, returning the rounds used and whether the flood drained.
+func (nw *Network) RunUntilQuiet(maxRounds int) (rounds int, quiet bool) {
+	for i := 0; i < maxRounds; i++ {
+		if !nw.Step() {
+			return i + 1, true
+		}
+	}
+	return maxRounds, false
+}

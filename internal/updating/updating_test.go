@@ -1,0 +1,293 @@
+package updating
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestNewerBasics(t *testing.T) {
+	cases := []struct {
+		a, b uint8
+		want bool
+	}{
+		{1, 0, true},
+		{0, 1, false},
+		{5, 5, false},
+		{0, 63, true},  // wraparound: 0 follows 63
+		{63, 0, false}, // and not the other way
+		{31, 0, true},  // just inside the half-space
+		{32, 0, false}, // exactly opposite: ambiguous, not newer
+		{33, 0, false}, // behind
+		{10, 50, true}, // 10 is 24 ahead of 50 (mod 64)
+	}
+	for _, c := range cases {
+		if got := Newer(c.a, c.b); got != c.want {
+			t.Errorf("Newer(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: for distinct values not exactly opposite, exactly one of
+// Newer(a,b) and Newer(b,a) holds.
+func TestNewerAntisymmetryProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		a &= SeqSpace - 1
+		b &= SeqSpace - 1
+		na, nb := Newer(a, b), Newer(b, a)
+		if a == b {
+			return !na && !nb
+		}
+		if (a-b)&(SeqSpace-1) == SeqSpace/2 {
+			return !na && !nb
+		}
+		return na != nb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLosslessFloodConverges(t *testing.T) {
+	g := topology.Arpanet()
+	nw := New(g, 0, 1)
+	origin := topology.NodeID(0)
+	nw.Originate(origin, []float64{30})
+	rounds, quiet := nw.RunUntilQuiet(50)
+	if !quiet {
+		t.Fatal("lossless flood did not drain")
+	}
+	if !nw.Converged(origin) {
+		t.Fatal("not every node saw the update")
+	}
+	// Lossless flood should drain in about diameter+1 rounds.
+	if rounds > 12 {
+		t.Errorf("lossless flood took %d rounds", rounds)
+	}
+}
+
+func TestLossyFloodStillConverges(t *testing.T) {
+	// The point of the protocol: 40% of transmissions vanish, yet every
+	// node ends up with the update, paid for in retransmissions.
+	g := topology.Arpanet()
+	nw := New(g, 0.4, 2)
+	origin := topology.NodeID(3)
+	nw.Originate(origin, []float64{30, 60})
+	_, quiet := nw.RunUntilQuiet(200)
+	if !quiet {
+		t.Fatal("lossy flood never drained")
+	}
+	if !nw.Converged(origin) {
+		t.Fatal("lossy flood lost the update somewhere")
+	}
+	lossless := New(g, 0, 2)
+	lossless.Originate(origin, []float64{30, 60})
+	lossless.RunUntilQuiet(200)
+	if nw.Transmissions <= lossless.Transmissions {
+		t.Errorf("reliability must cost retransmissions: %d lossy vs %d lossless",
+			nw.Transmissions, lossless.Transmissions)
+	}
+}
+
+func TestOldUpdatesRejected(t *testing.T) {
+	g := topology.Ring(5, topology.T56)
+	nw := New(g, 0, 3)
+	origin := topology.NodeID(0)
+	// Issue several updates back to back; the newest must win everywhere.
+	for i := 0; i < 5; i++ {
+		nw.Originate(origin, []float64{float64(i)})
+	}
+	nw.RunUntilQuiet(50)
+	if !nw.Converged(origin) {
+		t.Fatal("network did not converge on the newest update")
+	}
+	want, _ := nw.Node(1).Seq(origin)
+	if want != 5 {
+		t.Errorf("node 1 holds seq %d, want 5", want)
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	g := topology.Ring(4, topology.T56)
+	nw := New(g, 0, 4)
+	origin := topology.NodeID(0)
+	// Push the counter through the full 6-bit space and beyond. Flood each
+	// one so table entries never age out mid-test.
+	for i := 0; i < SeqSpace+10; i++ {
+		nw.Originate(origin, []float64{1})
+		nw.RunUntilQuiet(20)
+	}
+	if !nw.Converged(origin) {
+		t.Fatal("wraparound broke convergence")
+	}
+	seq, ok := nw.Node(2).Seq(origin)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if want := uint8((SeqSpace + 10) & (SeqSpace - 1)); seq != want {
+		t.Errorf("seq after wrap = %d, want %d", seq, want)
+	}
+}
+
+func TestAgingAllowsRestart(t *testing.T) {
+	g := topology.Ring(4, topology.T56)
+	nw := New(g, 0, 5)
+	origin := topology.NodeID(0)
+	// Drive the origin's sequence to 20, so that a post-restart sequence
+	// number of 1 is circularly *older* (distance 45 backwards).
+	for i := 0; i < 20; i++ {
+		nw.Originate(origin, []float64{1})
+	}
+	nw.RunUntilQuiet(50)
+
+	// The origin restarts: its next update carries seq 1, which is *older*
+	// circularly — initially rejected...
+	nw.Restart(origin)
+	nw.Originate(origin, []float64{2})
+	nw.RunUntilQuiet(5)
+	if nw.Converged(origin) {
+		t.Fatal("stale-seq update should not be believed immediately")
+	}
+	// ...but after the neighbors' entries age out (MaxAge quiet rounds), a
+	// re-flood is accepted.
+	for i := 0; i < MaxAge+1; i++ {
+		nw.Step()
+	}
+	nw.Originate(origin, []float64{3})
+	nw.RunUntilQuiet(50)
+	if !nw.Converged(origin) {
+		t.Error("restarted origin never re-accepted after aging")
+	}
+}
+
+func TestEntriesAgeOut(t *testing.T) {
+	g := topology.Ring(4, topology.T56)
+	nw := New(g, 0, 6)
+	origin := topology.NodeID(0)
+	nw.Originate(origin, []float64{1})
+	nw.RunUntilQuiet(20)
+	if _, ok := nw.Node(2).Seq(origin); !ok {
+		t.Fatal("entry should exist after flood")
+	}
+	for i := 0; i < MaxAge+1; i++ {
+		nw.Step()
+	}
+	if _, ok := nw.Node(2).Seq(origin); ok {
+		t.Error("entry should age out without refresh — the 50-second " +
+			"periodic update exists to prevent exactly this")
+	}
+	// The origin's own entry never ages.
+	if _, ok := nw.Node(0).Seq(origin); !ok {
+		t.Error("a node's own entry must not age out")
+	}
+}
+
+func TestDuplicateAccounting(t *testing.T) {
+	g := topology.Ring(4, topology.T56)
+	nw := New(g, 0, 7)
+	nw.Originate(0, []float64{1})
+	nw.RunUntilQuiet(20)
+	var dup int64
+	for i := 0; i < g.NumNodes(); i++ {
+		dup += nw.Node(topology.NodeID(i)).Duplicates
+	}
+	// On a ring the flood meets itself: duplicates are inevitable.
+	if dup == 0 {
+		t.Error("expected duplicate deliveries on a cycle")
+	}
+}
+
+// Property: at any loss rate up to 60%, a flood on a random connected
+// graph converges.
+func TestLossyConvergenceProperty(t *testing.T) {
+	f := func(seed int64, lossRaw uint8) bool {
+		g := topology.Random(8, 2.5, seed)
+		loss := float64(lossRaw%60) / 100
+		nw := New(g, loss, seed)
+		nw.Originate(0, []float64{1})
+		// Generous budget: expected retransmissions per line are
+		// geometric in the loss rate.
+		if _, quiet := nw.RunUntilQuiet(400); !quiet {
+			return false
+		}
+		return nw.Converged(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	g := topology.Ring(3, topology.T56)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid loss should panic")
+		}
+	}()
+	New(g, 1.0, 1)
+}
+
+func TestLineFailureResync(t *testing.T) {
+	// Partition a 4-ring by taking two opposite lines down, flood updates
+	// into one half, then restore a line: the resync must carry everything
+	// the other half missed.
+	g := topology.Ring(4, topology.T56)
+	nw := New(g, 0, 8)
+	// Converge an initial update from everyone.
+	for i := 0; i < g.NumNodes(); i++ {
+		nw.Originate(topology.NodeID(i), []float64{1})
+	}
+	nw.RunUntilQuiet(50)
+
+	l01, _ := g.FindTrunk(0, 1)
+	l23, _ := g.FindTrunk(2, 3)
+	nw.SetLineDown(l01)
+	nw.SetLineDown(l23)
+
+	// Node 0 issues updates that nodes 1 and 2 (the far side) cannot hear:
+	// the 0-3 line still connects 0 and 3 only.
+	nw.Originate(0, []float64{2})
+	nw.Originate(0, []float64{3})
+	nw.RunUntilQuiet(30)
+	if nw.Converged(0) {
+		t.Fatal("far side should be stale during the partition")
+	}
+	want, _ := nw.Node(3).Seq(0)
+	if got, _ := nw.Node(1).Seq(0); got == want {
+		t.Fatal("node 1 should have missed the updates")
+	}
+
+	// Restore one line: full-table resync flows across it.
+	nw.SetLineUp(l01)
+	nw.RunUntilQuiet(50)
+	if !nw.Converged(0) {
+		t.Error("resync after line-up should deliver the missed updates everywhere")
+	}
+}
+
+func TestDownLineHoldsRetransmissions(t *testing.T) {
+	g := topology.Line(2, topology.T56)
+	nw := New(g, 0, 9)
+	l, _ := g.FindTrunk(0, 1)
+	nw.SetLineDown(l)
+	nw.Originate(0, []float64{1})
+	// The flood cannot drain over a dead line, but RunUntilQuiet must not
+	// spin: held copies do not count as pending work.
+	if _, quiet := nw.RunUntilQuiet(10); !quiet {
+		t.Fatal("held retransmissions should not keep the network busy")
+	}
+	if nw.Converged(0) {
+		t.Fatal("update cannot have crossed a dead line")
+	}
+	before := nw.Transmissions
+	nw.Step()
+	if nw.Transmissions != before {
+		t.Error("no transmissions should happen on a dead line")
+	}
+	nw.SetLineUp(l)
+	nw.RunUntilQuiet(20)
+	if !nw.Converged(0) {
+		t.Error("held update should deliver once the line returns")
+	}
+}

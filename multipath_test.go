@@ -1,0 +1,92 @@
+package arpanet
+
+// §4.5: "while HN-SPF should vastly improve load-sharing... it will be
+// most effective when network traffic consists of several small
+// node-to-node flows. To accomplish load-sharing when network traffic is
+// dominated by several large flows would require a multi-path routing
+// algorithm." These tests exercise that extension: equal-cost multipath
+// forwarding splitting one large flow over parallel paths.
+
+import "testing"
+
+// largeFlowRun drives one big flow over a 2×2 grid: R0.C0 → R1.C1 has two
+// equal-cost 2-hop paths. The flow is 1.6× one trunk — impossible for
+// single-path routing, comfortable for two paths.
+func largeFlowRun(t *testing.T, multipath bool) Report {
+	t.Helper()
+	topo := Grid(2, 2, T56)
+	tr := topo.NewTraffic()
+	tr.SetRate("R0.C0", "R1.C1", 1.6*56000)
+	s := NewSimulation(topo, tr, SimConfig{
+		Metric: HNSPF, Seed: 3, WarmupSeconds: 60, Multipath: multipath,
+	})
+	s.RunSeconds(300)
+	return s.Report()
+}
+
+func TestMultipathSplitsLargeFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	single := largeFlowRun(t, false)
+	multi := largeFlowRun(t, true)
+	t.Logf("single-path: delivered %.2f, drops %d", single.DeliveredRatio, single.BufferDrops)
+	t.Logf("multipath:   delivered %.2f, drops %d", multi.DeliveredRatio, multi.BufferDrops)
+
+	// Single-path routing can carry at most one trunk's worth (~62%).
+	if single.DeliveredRatio > 0.75 {
+		t.Errorf("single-path delivered %.2f of a 1.6-trunk flow; should be capped near 0.62",
+			single.DeliveredRatio)
+	}
+	// Multipath splits the flow over both paths and delivers nearly all.
+	if multi.DeliveredRatio < 0.95 {
+		t.Errorf("multipath delivered only %.2f", multi.DeliveredRatio)
+	}
+	if multi.BufferDrops >= single.BufferDrops {
+		t.Errorf("multipath drops %d should be far below single-path %d",
+			multi.BufferDrops, single.BufferDrops)
+	}
+}
+
+func TestMultipathHarmlessOnTreePaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	// On a topology without equal-cost alternatives (a line), multipath
+	// must behave exactly like single-path.
+	run := func(multipath bool) Report {
+		topo := NewTopology()
+		topo.AddNode("A")
+		topo.AddNode("B")
+		topo.AddNode("C")
+		topo.AddTrunk("A", "B", T56, 0.001)
+		topo.AddTrunk("B", "C", T56, 0.001)
+		tr := topo.NewTraffic()
+		tr.SetRate("A", "C", 20000)
+		s := NewSimulation(topo, tr, SimConfig{
+			Metric: HNSPF, Seed: 4, WarmupSeconds: 30, Multipath: multipath,
+		})
+		s.RunSeconds(120)
+		return s.Report()
+	}
+	a, b := run(false), run(true)
+	if a.DeliveredPackets != b.DeliveredPackets || a.ActualPathHops != b.ActualPathHops {
+		t.Errorf("multipath changed behaviour on a path graph: %+v vs %+v",
+			a.DeliveredPackets, b.DeliveredPackets)
+	}
+}
+
+func TestMultipathWorksWithAllMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	for _, m := range []Metric{HNSPF, DSPF, MinHop} {
+		topo := Grid(2, 2, T56)
+		tr := topo.UniformTraffic(40000)
+		s := NewSimulation(topo, tr, SimConfig{Metric: m, Seed: 5, WarmupSeconds: 30, Multipath: true})
+		s.RunSeconds(120)
+		if r := s.Report(); r.DeliveredRatio < 0.99 {
+			t.Errorf("%v multipath delivered %.3f at light load", m, r.DeliveredRatio)
+		}
+	}
+}

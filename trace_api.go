@@ -1,0 +1,30 @@
+package arpanet
+
+import "repro/internal/trace"
+
+// Trace is a bounded event log of loss and routing events — buffer drops,
+// unroutable packets, TTL expiries, update originations, link state
+// changes. Enable it with SimConfig.TraceCapacity; events beyond the
+// capacity overwrite the oldest.
+type Trace = trace.Ring
+
+// TraceEvent is one logged occurrence; At is the simulation time in
+// microseconds (At.Seconds() converts).
+type TraceEvent = trace.Event
+
+// TraceKind classifies a TraceEvent.
+type TraceKind = trace.Kind
+
+// The event kinds a simulation emits.
+const (
+	TraceDrop     = trace.PacketDropped
+	TraceNoRoute  = trace.PacketNoRoute
+	TraceLoop     = trace.PacketLooped
+	TraceUpdate   = trace.UpdateOriginate
+	TraceLinkDown = trace.LinkDown
+	TraceLinkUp   = trace.LinkUp
+)
+
+// Trace returns the simulation's event log, or nil when tracing was not
+// enabled via SimConfig.TraceCapacity.
+func (s *Simulation) Trace() *Trace { return s.tr }
