@@ -242,3 +242,19 @@ func BenchmarkBellmanFord1969(b *testing.B) {
 	b.ReportMetric(bf, "delivered-bf1969")
 	b.ReportMetric(dspf, "delivered-dspf")
 }
+
+// BenchmarkNewAnalysis measures the §5 model build through the public API —
+// the dominant cost behind Figures 7-12 and the target of the parallel,
+// workspace-recycling build.
+func BenchmarkNewAnalysis(b *testing.B) {
+	topo := Arpanet1987()
+	tr := topo.GravityTraffic(ArpanetWeights(), 400_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAnalysis(topo, tr)
+		if a.MaxShedCost() <= 0 {
+			b.Fatal("empty model")
+		}
+	}
+}

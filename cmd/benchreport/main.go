@@ -1,0 +1,175 @@
+// Command benchreport parses `go test -bench` output and writes a JSON
+// benchmark snapshot, seeding the repository's performance trajectory.
+// Each snapshot records ns/op, B/op, allocs/op and any custom metrics
+// (b.ReportMetric units) per benchmark, plus the machine context needed to
+// compare runs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | go run ./cmd/benchreport [-o BENCH_1.json]
+//	go run ./cmd/benchreport -o BENCH_2.json bench-output.txt
+//
+// Without -o the next free BENCH_<n>.json in the current directory is
+// chosen. scripts/bench.sh wires the whole pipeline together.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the full report written to BENCH_<n>.json.
+type Snapshot struct {
+	SchemaVersion int      `json:"schema_version"`
+	CreatedAt     string   `json:"created_at"`
+	Goos          string   `json:"goos,omitempty"`
+	Goarch        string   `json:"goarch,omitempty"`
+	CPU           string   `json:"cpu,omitempty"`
+	Notes         string   `json:"notes,omitempty"`
+	Benchmarks    []Result `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456 ns/op   ..." — the name,
+// optional GOMAXPROCS suffix, iteration count and measurement fields.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default: next free BENCH_<n>.json)")
+	notes := flag.String("notes", "", "free-form context recorded in the snapshot")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	snap, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	snap.Notes = *notes
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	path := *out
+	if path == "" {
+		path = nextSnapshotPath(".")
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+// parse consumes `go test -bench` output: pkg/goos/goarch/cpu headers and
+// benchmark result lines; everything else (PASS, ok, test logs) is skipped.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{
+		SchemaVersion: 1,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+	}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := Result{Name: m[1], Package: pkg, Metrics: map[string]float64{}}
+		if m[2] != "" {
+			res.Procs, _ = strconv.Atoi(m[2])
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			continue
+		}
+		res.Iterations = iters
+		// The tail is value/unit pairs: "4129 ns/op  2528 B/op  0.98 delivered-single".
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				res.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		snap.Benchmarks = append(snap.Benchmarks, res)
+	}
+	return snap, sc.Err()
+}
+
+// nextSnapshotPath returns BENCH_<n>.json for the smallest n ≥ 1 not
+// already present in dir.
+func nextSnapshotPath(dir string) string {
+	for n := 1; ; n++ {
+		p := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package equilibrium
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// BenchmarkModelNew isolates the §5 model build (one Dijkstra per link and
+// source) so its cost is tracked independently of the figure pipelines.
+func BenchmarkModelNew(b *testing.B) {
+	g := topology.Arpanet()
+	m := traffic.Gravity(g, topology.ArpanetWeights(), 400000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mo := New(g, m)
+		if mo.MeanBaseTraffic() <= 0 {
+			b.Fatal("empty model")
+		}
+	}
+}
+
+// BenchmarkModelNewSerial pins the build to one worker — the baseline the
+// parallel build is compared against.
+func BenchmarkModelNewSerial(b *testing.B) {
+	g := topology.Arpanet()
+	m := traffic.Gravity(g, topology.ArpanetWeights(), 400000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mo := New(g, m, WithWorkers(1))
+		if mo.MeanBaseTraffic() <= 0 {
+			b.Fatal("empty model")
+		}
+	}
+}
+
+// BenchmarkResponse measures one Network Response Map query.
+func BenchmarkResponse(b *testing.B) {
+	mo := model()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := mo.Response(1 + float64(i%70)/10); r < 0 {
+			b.Fatal("negative response")
+		}
+	}
+}

@@ -9,11 +9,21 @@
 // source-destination route we compute the reported cost (in hops) at which
 // the route moves off the link, with ties always broken in favor of using
 // the link. Aggregating over all links gives the average link's response.
+//
+// The build fans out over links: each directed link's thresholds depend
+// only on shortest paths with that one link priced out, so links are
+// embarrassingly parallel. A bounded worker pool (default GOMAXPROCS,
+// see WithWorkers) processes links off a shared counter; every worker owns
+// one spf.Workspace and writes only its link's routes/base slots, so the
+// result is identical — bit for bit — to a sequential build.
 package equilibrium
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/spf"
 	"repro/internal/stats"
@@ -27,17 +37,41 @@ type Model struct {
 	m *traffic.Matrix
 
 	// For each directed link, the routes that use it at ambient cost:
-	// (shed threshold w* in hops, route length in hops, traffic in bps).
+	// (shed threshold w* in hops, route length in hops, traffic in bps),
+	// sorted by ascending threshold.
 	routes [][]routeStat
 
 	// base traffic per link at ambient cost (bps).
 	base []float64
+
+	// Prefix-sum response tables: one per link plus the all-links
+	// aggregate, so response queries bisect instead of rescanning routes.
+	tables   []responseTable
+	allTable responseTable
+	allBase  float64
 }
 
 type routeStat struct {
 	shedAt float64 // largest cost (hops) at which the route still uses the link
 	length int     // route length (hops) through the link at ambient cost
 	rate   float64 // bps
+}
+
+// Option configures the model build.
+type Option func(*config)
+
+type config struct {
+	workers int
+}
+
+// WithWorkers sets the number of goroutines the build fans the per-link
+// computations over. The default is GOMAXPROCS; 1 forces a fully
+// sequential build. The result does not depend on the worker count.
+func WithWorkers(n int) Option {
+	if n < 1 {
+		panic("equilibrium: workers must be at least 1")
+	}
+	return func(c *config) { c.workers = n }
 }
 
 // New builds the model for a topology and traffic matrix. For every
@@ -48,76 +82,166 @@ type routeStat struct {
 //
 // — the largest cost of L (in hops) at which the s→t route still crosses L
 // (ties in favor of L). Pairs with w* < 1 never use the link.
-func New(g *topology.Graph, m *traffic.Matrix) *Model {
+func New(g *topology.Graph, m *traffic.Matrix, opts ...Option) *Model {
 	if err := g.Validate(); err != nil {
 		panic(err)
 	}
 	if m.NumNodes() != g.NumNodes() {
 		panic("equilibrium: matrix size mismatch")
 	}
+	cfg := config{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	nl := g.NumLinks()
 	mod := &Model{
 		g:      g,
 		m:      m,
-		routes: make([][]routeStat, g.NumLinks()),
-		base:   make([]float64, g.NumLinks()),
+		routes: make([][]routeStat, nl),
+		base:   make([]float64, nl),
+		tables: make([]responseTable, nl),
 	}
-	n := g.NumNodes()
-	for li := 0; li < g.NumLinks(); li++ {
-		lid := topology.LinkID(li)
-		link := g.Link(lid)
-		// Hop distances avoiding the directed link L. spf.Compute rejects
-		// infinite costs, so removal is emulated with a cost larger than
-		// any simple path; clean() maps such distances back to +Inf.
-		huge := float64(10 * n)
-		avoidCost := func(other topology.LinkID) float64 {
-			if other == lid {
-				return huge
-			}
-			return 1
-		}
-		// Distances from every source with L removed: one Dijkstra per
-		// source is fine at ARPANET scale.
-		distFrom := make([]*spf.Tree, n)
-		for s := 0; s < n; s++ {
-			distFrom[s] = spf.Compute(g, topology.NodeID(s), avoidCost)
-		}
-		toU := make([]float64, n) // d(s, u | ¬L)
-		for s := 0; s < n; s++ {
-			toU[s] = clean(distFrom[s].Dist(link.From), huge)
-		}
-		fromV := distFrom[link.To] // d(v, t | ¬L)
 
-		for s := 0; s < n; s++ {
-			for t := 0; t < n; t++ {
-				if s == t {
-					continue
+	workers := cfg.workers
+	if workers > nl {
+		workers = nl
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Workers claim links off a shared counter. Each worker writes only
+	// routes[li], base[li] and tables[li] for the links it claimed — the
+	// slots are disjoint, so no synchronization beyond the WaitGroup is
+	// needed and the outcome matches a sequential build exactly.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicked atomic.Value
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.Store(p)
 				}
-				rate := m.Rate(topology.NodeID(s), topology.NodeID(t))
-				if rate <= 0 {
-					continue
+			}()
+			b := newLinkBuilder(g, m)
+			for {
+				li := int(next.Add(1)) - 1
+				if li >= nl {
+					return
 				}
-				dst := clean(distFrom[s].Dist(topology.NodeID(t)), huge)
-				a := toU[s] + clean(fromV.Dist(topology.NodeID(t)), huge)
-				if math.IsInf(dst, 1) && math.IsInf(a, 1) {
-					continue
-				}
-				wstar := dst - a
-				if wstar < 1 {
-					continue // never uses the link
-				}
-				mod.routes[li] = append(mod.routes[li], routeStat{
-					shedAt: wstar,
-					length: int(a) + 1,
-					rate:   rate,
-				})
-				mod.base[li] += rate
+				routes, base := b.build(topology.LinkID(li))
+				mod.routes[li] = routes
+				mod.base[li] = base
+				mod.tables[li] = newResponseTable(routes)
 			}
-		}
-		sort.Slice(mod.routes[li], func(a, b int) bool {
-			return mod.routes[li][a].shedAt < mod.routes[li][b].shedAt
-		})
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+
+	// Aggregate table for the average-link response: concatenating every
+	// link's routes in link order keeps the build order — and hence the
+	// floating-point sums — independent of the worker count.
+	total := 0
+	for _, rs := range mod.routes {
+		total += len(rs)
+	}
+	all := make([]routeStat, 0, total)
+	for _, rs := range mod.routes {
+		all = append(all, rs...)
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].shedAt < all[b].shedAt })
+	mod.allTable = newResponseTable(all)
+	for _, b := range mod.base {
+		mod.allBase += b
 	}
 	return mod
+}
+
+// linkBuilder is one worker's scratch state: a reusable SPF workspace, the
+// cost vector (all ambient except the link under consideration) and the
+// d(v,t | ¬L) row saved from the link head's shortest-path tree.
+type linkBuilder struct {
+	g     *topology.Graph
+	m     *traffic.Matrix
+	ws    *spf.Workspace
+	costs []float64 // 1 everywhere except costs[current link] = huge
+	fromV []float64 // cleaned d(v, t | ¬L) per destination
+	huge  float64
+}
+
+func newLinkBuilder(g *topology.Graph, m *traffic.Matrix) *linkBuilder {
+	b := &linkBuilder{
+		g:     g,
+		m:     m,
+		ws:    spf.NewWorkspace(),
+		costs: make([]float64, g.NumLinks()),
+		fromV: make([]float64, g.NumNodes()),
+		// spf.Compute rejects infinite costs, so link removal is emulated
+		// with a cost larger than any simple path; clean() maps distances
+		// that had to cross the link back to +Inf.
+		huge: float64(10 * g.NumNodes()),
+	}
+	for i := range b.costs {
+		b.costs[i] = 1
+	}
+	return b
+}
+
+// build computes one link's route thresholds and base traffic. The routes
+// come out in (source, destination) order, then sorted by threshold — the
+// same order for any worker assignment.
+func (b *linkBuilder) build(lid topology.LinkID) ([]routeStat, float64) {
+	g, n := b.g, b.g.NumNodes()
+	link := g.Link(lid)
+	b.costs[lid] = b.huge
+	defer func() { b.costs[lid] = 1 }()
+	costFn := func(l topology.LinkID) float64 { return b.costs[l] }
+
+	// d(v, t | ¬L) for every destination, from one tree rooted at the
+	// link's head. The tree lives in the shared workspace, so the row is
+	// copied out before the per-source trees overwrite it.
+	tv := spf.ComputeInto(b.ws, g, link.To, costFn)
+	for t := 0; t < n; t++ {
+		b.fromV[t] = clean(tv.Dist(topology.NodeID(t)), b.huge)
+	}
+
+	var routes []routeStat
+	var base float64
+	for s := 0; s < n; s++ {
+		ts := spf.ComputeInto(b.ws, g, topology.NodeID(s), costFn)
+		toU := clean(ts.Dist(link.From), b.huge) // d(s, u | ¬L)
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			rate := b.m.Rate(topology.NodeID(s), topology.NodeID(t))
+			if rate <= 0 {
+				continue
+			}
+			dst := clean(ts.Dist(topology.NodeID(t)), b.huge)
+			a := toU + b.fromV[t]
+			if math.IsInf(dst, 1) && math.IsInf(a, 1) {
+				continue
+			}
+			wstar := dst - a
+			if wstar < 1 {
+				continue // never uses the link
+			}
+			routes = append(routes, routeStat{
+				shedAt: wstar,
+				length: int(a) + 1,
+				rate:   rate,
+			})
+			base += rate
+		}
+	}
+	sort.SliceStable(routes, func(a, b int) bool { return routes[a].shedAt < routes[b].shedAt })
+	return routes, base
 }
 
 // clean converts path lengths that had to route over the "removed" link
@@ -127,6 +251,47 @@ func clean(d, huge float64) float64 {
 		return math.Inf(1)
 	}
 	return d
+}
+
+// responseTable answers "traffic remaining at reported cost w" queries in
+// O(log R) over a threshold-sorted route set. A route with threshold w*
+// contributes its full rate while w ≤ w*, rate·(w*+1−w) while w* < w <
+// w*+1, and nothing beyond — so the remaining traffic is
+//
+//	Σ_{w* ≥ w} rate  +  Σ_{w−1 < w* < w} rate·(w*+1−w)
+//
+// Both sums are contiguous runs of the sorted thresholds; prefix sums of
+// rate and rate·w* turn each into two lookups around a binary search.
+type responseTable struct {
+	shed     []float64 // sorted thresholds
+	rateCum  []float64 // rateCum[i] = Σ rate[0:i], length len(shed)+1
+	rshedCum []float64 // rshedCum[i] = Σ (rate·shedAt)[0:i]
+}
+
+func newResponseTable(routes []routeStat) responseTable {
+	t := responseTable{
+		shed:     make([]float64, len(routes)),
+		rateCum:  make([]float64, len(routes)+1),
+		rshedCum: make([]float64, len(routes)+1),
+	}
+	for i, r := range routes {
+		t.shed[i] = r.shedAt
+		t.rateCum[i+1] = t.rateCum[i] + r.rate
+		t.rshedCum[i+1] = t.rshedCum[i] + r.rate*r.shedAt
+	}
+	return t
+}
+
+// remain returns the absolute traffic (bps) still on the link at cost w.
+func (t *responseTable) remain(w float64) float64 {
+	n := len(t.shed)
+	// Routes in [i1, i2) are in the partial band w−1 < w* < w; routes from
+	// i2 on keep their full rate.
+	i1 := sort.Search(n, func(i int) bool { return t.shed[i] > w-1 })
+	i2 := sort.Search(n, func(i int) bool { return t.shed[i] >= w })
+	full := t.rateCum[n] - t.rateCum[i2]
+	partial := (t.rshedCum[i2] - t.rshedCum[i1]) + (1-w)*(t.rateCum[i2]-t.rateCum[i1])
+	return full + partial
 }
 
 // ShedStat is one row of Figure 7: for routes of a given length, the
@@ -202,22 +367,10 @@ func (mo *Model) MeanShedCost() float64 {
 // ties kept at cost 1" and "all ties lost at cost 2") and keeps the map
 // continuous so the §5.3 fixed point is well-defined.
 func (mo *Model) Response(w float64) float64 {
-	var remain, base float64
-	for li, rs := range mo.routes {
-		base += mo.base[li]
-		for _, r := range rs {
-			keep := r.shedAt + 1 - w
-			if keep >= 1 {
-				remain += r.rate
-			} else if keep > 0 {
-				remain += r.rate * keep
-			}
-		}
-	}
-	if base == 0 {
+	if mo.allBase == 0 {
 		return 0
 	}
-	return remain / base
+	return mo.allTable.remain(w) / mo.allBase
 }
 
 // ResponseSeries samples the response map over [1, wMax] at the given
@@ -238,16 +391,7 @@ func (mo *Model) LinkResponse(l topology.LinkID, w float64) float64 {
 	if mo.base[l] == 0 {
 		return 0
 	}
-	var remain float64
-	for _, r := range mo.routes[l] {
-		keep := r.shedAt + 1 - w
-		if keep >= 1 {
-			remain += r.rate
-		} else if keep > 0 {
-			remain += r.rate * keep
-		}
-	}
-	return remain / mo.base[l]
+	return mo.tables[l].remain(w) / mo.base[l]
 }
 
 // ResponseSpread returns the per-link spread of the response at cost w:
@@ -267,15 +411,10 @@ func (mo *Model) ResponseSpread(w float64) stats.Welford {
 // cost beyond which the average link is guaranteed bare ("if a link
 // reports more than eight hops, then it will shed all of its routes").
 func (mo *Model) MaxShedCost() float64 {
-	max := 0.0
-	for _, rs := range mo.routes {
-		for _, r := range rs {
-			if r.shedAt > max {
-				max = r.shedAt
-			}
-		}
+	if n := len(mo.allTable.shed); n > 0 {
+		return mo.allTable.shed[n-1]
 	}
-	return max
+	return 0
 }
 
 // BaseTraffic returns the ambient-cost traffic of link l in bps.
@@ -283,9 +422,5 @@ func (mo *Model) BaseTraffic(l topology.LinkID) float64 { return mo.base[l] }
 
 // MeanBaseTraffic returns the ambient-cost traffic of the average link.
 func (mo *Model) MeanBaseTraffic() float64 {
-	sum := 0.0
-	for _, b := range mo.base {
-		sum += b
-	}
-	return sum / float64(len(mo.base))
+	return mo.allBase / float64(len(mo.base))
 }

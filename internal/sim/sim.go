@@ -51,7 +51,10 @@ type item struct {
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ it *item }
+type Handle struct {
+	k  *Kernel
+	it *item
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancel reports whether the event was
@@ -61,6 +64,11 @@ func (h Handle) Cancel() bool {
 		return false
 	}
 	h.it.stopped = true
+	// The item stays in the heap until drained lazily; track it so Pending
+	// stays exact.
+	if h.it.index >= 0 && h.k != nil {
+		h.k.cancelled++
+	}
 	return true
 }
 
@@ -99,12 +107,13 @@ func (h *eventHeap) Pop() any {
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; create one with New.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	running bool
-	stopped bool
-	fired   uint64
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	cancelled int // cancelled events not yet drained from the heap
+	running   bool
+	stopped   bool
+	fired     uint64
 }
 
 // New returns an empty kernel with the clock at time zero.
@@ -120,9 +129,10 @@ func (k *Kernel) Now() Time { return k.now }
 // Fired returns the number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled events not yet drained from the heap).
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of events currently scheduled and still able
+// to fire. Cancelled events awaiting lazy removal from the heap are not
+// counted.
+func (k *Kernel) Pending() int { return len(k.queue) - k.cancelled }
 
 // ErrPastEvent is returned by ScheduleAt when the requested time is before
 // the current simulation time.
@@ -137,7 +147,7 @@ func (k *Kernel) ScheduleAt(at Time, fn Event) (Handle, error) {
 	it := &item{at: at, seq: k.seq, fn: fn}
 	k.seq++
 	heap.Push(&k.queue, it)
-	return Handle{it}, nil
+	return Handle{k: k, it: it}, nil
 }
 
 // Schedule schedules fn to run after delay (which may be zero). A negative
@@ -202,6 +212,7 @@ func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
 		it := heap.Pop(&k.queue).(*item)
 		if it.stopped {
+			k.cancelled--
 			continue
 		}
 		k.now = it.at
@@ -252,6 +263,7 @@ func (k *Kernel) peek() (Time, bool) {
 	for len(k.queue) > 0 {
 		if k.queue[0].stopped {
 			heap.Pop(&k.queue)
+			k.cancelled--
 			continue
 		}
 		return k.queue[0].at, true

@@ -275,3 +275,61 @@ func TestExp(t *testing.T) {
 		t.Error("Exp with non-positive mean should return 0")
 	}
 }
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	k := New()
+	h1 := k.Schedule(1*Second, func(Time) {})
+	k.Schedule(2*Second, func(Time) {})
+	h3 := k.Schedule(3*Second, func(Time) {})
+	if got := k.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d, want 3", got)
+	}
+	// A cancelled-but-undrained event must not be counted.
+	h1.Cancel()
+	if got := k.Pending(); got != 2 {
+		t.Errorf("Pending() after one cancel = %d, want 2", got)
+	}
+	// Double-cancel must not double-count.
+	h1.Cancel()
+	if got := k.Pending(); got != 2 {
+		t.Errorf("Pending() after double cancel = %d, want 2", got)
+	}
+	h3.Cancel()
+	if got := k.Pending(); got != 1 {
+		t.Errorf("Pending() after two cancels = %d, want 1", got)
+	}
+	// Draining the heap (firing the survivor) brings the count to zero.
+	k.Run()
+	if got := k.Pending(); got != 0 {
+		t.Errorf("Pending() after run = %d, want 0", got)
+	}
+	if k.Fired() != 1 {
+		t.Errorf("Fired() = %d, want 1 (two of three were cancelled)", k.Fired())
+	}
+	// Cancelling an already-fired event must not disturb the count.
+	h4 := k.Schedule(Second, func(Time) {})
+	k.Run()
+	h4.Cancel()
+	if got := k.Pending(); got != 0 {
+		t.Errorf("Pending() after cancelling fired event = %d, want 0", got)
+	}
+}
+
+func TestPendingWithPeekDrain(t *testing.T) {
+	// RunUntil drains cancelled events through peek; the counter must
+	// follow that path too.
+	k := New()
+	h := k.Schedule(1*Second, func(Time) {})
+	k.Schedule(5*Second, func(Time) {})
+	h.Cancel()
+	k.RunUntil(2 * Second)
+	if got := k.Pending(); got != 1 {
+		t.Errorf("Pending() = %d, want 1 (only the 5s event remains)", got)
+	}
+	// Stopped tickers also leave a cancelled entry behind.
+	tick := k.Every(Second, func(Time) {})
+	tick.Stop()
+	if got := k.Pending(); got != 1 {
+		t.Errorf("Pending() after stopped ticker = %d, want 1", got)
+	}
+}

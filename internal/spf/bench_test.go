@@ -19,6 +19,37 @@ func arpanetCosts(g *topology.Graph) []float64 {
 	return cs
 }
 
+// BenchmarkCompute measures one from-scratch Dijkstra on the 1987 ARPANET
+// graph — the unit of work the §5 model build repeats thousands of times.
+func BenchmarkCompute(b *testing.B) {
+	g := topology.Arpanet()
+	cost := func(l topology.LinkID) float64 { return 1 + float64(l%7) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := Compute(g, 0, cost)
+		if !t.Reachable(topology.NodeID(g.NumNodes() - 1)) {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+// BenchmarkComputeInto measures the same Dijkstra through a recycled
+// Workspace — the allocation-free fast path used by the model build.
+func BenchmarkComputeInto(b *testing.B) {
+	g := topology.Arpanet()
+	cost := func(l topology.LinkID) float64 { return 1 + float64(l%7) }
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ComputeInto(ws, g, 0, cost)
+		if !t.Reachable(topology.NodeID(g.NumNodes() - 1)) {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
 func BenchmarkFullSPF(b *testing.B) {
 	g := topology.Arpanet()
 	costs := arpanetCosts(g)

@@ -1,7 +1,6 @@
 package spf
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/topology"
@@ -126,7 +125,6 @@ func (r *IncrementalRouter) repairDecrease(link topology.Link, c float64) {
 	}
 	r.incremental++
 	pq := &nodeHeap{}
-	heap.Init(pq)
 	r.improve(link.To, du+c, link.ID, pq)
 	r.relaxFrontier(pq, nil)
 }
@@ -150,19 +148,19 @@ func (r *IncrementalRouter) improve(n topology.NodeID, d float64, via topology.L
 // increase repair, which must not touch the intact part of the tree).
 func (r *IncrementalRouter) relaxFrontier(pq *nodeHeap, inSet []bool) {
 	t := r.tree
-	for pq.Len() > 0 {
+	for !pq.empty() {
 		// Lazy deletion: skip stale entries.
-		top := heap.Pop(pq).(pair)
-		if top.d > t.dist[top.n] {
+		top, topDist := pq.pop()
+		if topDist > t.dist[top] {
 			continue
 		}
 		r.touched++
-		for _, lid := range r.g.Out(top.n) {
+		for _, lid := range r.g.Out(top) {
 			to := r.g.Link(lid).To
 			if inSet != nil && !inSet[to] {
 				continue
 			}
-			if d := t.dist[top.n] + r.costs[lid]; d < t.dist[to] {
+			if d := t.dist[top] + r.costs[lid]; d < t.dist[to] {
 				r.improve(to, d, lid, pq)
 			}
 		}
@@ -211,7 +209,6 @@ func (r *IncrementalRouter) repairIncrease(link topology.Link) {
 		}
 	}
 	pq := &nodeHeap{}
-	heap.Init(pq)
 	for i := range inSet {
 		if !inSet[i] {
 			continue

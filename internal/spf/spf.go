@@ -12,7 +12,6 @@
 package spf
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/topology"
@@ -34,60 +33,20 @@ type Tree struct {
 }
 
 // Compute runs Dijkstra's algorithm from root over g with the given link
-// costs. Links with non-positive or non-finite cost panic: the metrics all
-// guarantee a positive floor ("the bias term... effectively serves to
-// prevent an idle line from reporting a zero delay value").
+// costs. Every link's cost is evaluated and validated once per computation;
+// a non-positive or non-finite cost panics: the metrics all guarantee a
+// positive floor ("the bias term... effectively serves to prevent an idle
+// line from reporting a zero delay value").
 //
 // Tie-breaking is deterministic: among equal-cost paths the one whose last
 // relaxation came first wins, and relaxations scan links in ID order. The
 // model layer relies on this determinism.
+//
+// The returned Tree is freshly allocated and never mutated afterwards;
+// callers that run many computations should reuse a Workspace via
+// ComputeInto instead.
 func Compute(g *topology.Graph, root topology.NodeID, cost CostFunc) *Tree {
-	n := g.NumNodes()
-	t := &Tree{
-		root:    root,
-		dist:    make([]float64, n),
-		parent:  make([]topology.LinkID, n),
-		nextHop: make([]topology.LinkID, n),
-	}
-	for i := range t.dist {
-		t.dist[i] = Infinite
-		t.parent[i] = topology.NoLink
-		t.nextHop[i] = topology.NoLink
-	}
-	t.dist[root] = 0
-
-	pq := &nodeHeap{}
-	heap.Init(pq)
-	pq.push(root, 0)
-	settled := make([]bool, n)
-	for pq.Len() > 0 {
-		u := pq.pop()
-		if settled[u] {
-			continue
-		}
-		settled[u] = true
-		for _, lid := range g.Out(u) {
-			c := cost(lid)
-			if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
-				panic("spf: link cost must be positive and finite")
-			}
-			v := g.Link(lid).To
-			if settled[v] {
-				continue
-			}
-			if d := t.dist[u] + c; d < t.dist[v] {
-				t.dist[v] = d
-				t.parent[v] = lid
-				if u == root {
-					t.nextHop[v] = lid
-				} else {
-					t.nextHop[v] = t.nextHop[u]
-				}
-				pq.push(v, d)
-			}
-		}
-	}
-	return t
+	return ComputeInto(NewWorkspace(), g, root, cost)
 }
 
 // Root returns the tree's root node.
@@ -169,36 +128,3 @@ func (t *Tree) InTree(link topology.LinkID) bool {
 	}
 	return false
 }
-
-// nodeHeap is a monotone priority queue of (node, dist) with lazy deletion.
-type nodeHeap struct {
-	nodes []topology.NodeID
-	dists []float64
-}
-
-func (h *nodeHeap) Len() int           { return len(h.nodes) }
-func (h *nodeHeap) Less(i, j int) bool { return h.dists[i] < h.dists[j] }
-func (h *nodeHeap) Swap(i, j int) {
-	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
-	h.dists[i], h.dists[j] = h.dists[j], h.dists[i]
-}
-func (h *nodeHeap) Push(x any) {
-	p := x.(pair)
-	h.nodes = append(h.nodes, p.n)
-	h.dists = append(h.dists, p.d)
-}
-func (h *nodeHeap) Pop() any {
-	last := len(h.nodes) - 1
-	p := pair{h.nodes[last], h.dists[last]}
-	h.nodes = h.nodes[:last]
-	h.dists = h.dists[:last]
-	return p
-}
-
-type pair struct {
-	n topology.NodeID
-	d float64
-}
-
-func (h *nodeHeap) push(n topology.NodeID, d float64) { heap.Push(h, pair{n, d}) }
-func (h *nodeHeap) pop() topology.NodeID              { return heap.Pop(h).(pair).n }

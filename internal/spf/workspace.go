@@ -1,0 +1,113 @@
+package spf
+
+import "repro/internal/topology"
+
+// Workspace holds the scratch state of one SPF computation — the result
+// arrays, the settled set, the per-link cost cache and the priority queue —
+// so the thousands of Dijkstras behind the §5 model build can run without
+// allocating. A Workspace may be reused across graphs of different sizes;
+// ComputeInto re-dimensions the arrays as needed. It is not safe for
+// concurrent use: give each goroutine its own Workspace.
+type Workspace struct {
+	tree    Tree
+	settled []bool
+	costs   []float64
+	pq      nodeHeap
+}
+
+// NewWorkspace returns an empty workspace. The zero value is also valid.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ComputeInto is Compute with caller-provided scratch state: the returned
+// Tree is owned by the workspace and is valid only until the next
+// ComputeInto on the same workspace. Results are identical to Compute —
+// including tie-breaking — regardless of what the workspace previously held.
+//
+// Each link's cost is evaluated and validated exactly once per computation,
+// before the relaxation loop runs; like Compute it panics on a non-positive
+// or non-finite cost, even for links the search would never have scanned.
+func ComputeInto(ws *Workspace, g *topology.Graph, root topology.NodeID, cost CostFunc) *Tree {
+	nl := g.NumLinks()
+	ws.costs = growFloats(ws.costs, nl)
+	for li := 0; li < nl; li++ {
+		c := cost(topology.LinkID(li))
+		if !validCost(c) {
+			panic("spf: link cost must be positive and finite")
+		}
+		ws.costs[li] = c
+	}
+
+	n := g.NumNodes()
+	t := &ws.tree
+	t.root = root
+	t.dist = growFloats(t.dist, n)
+	t.parent = growLinks(t.parent, n)
+	t.nextHop = growLinks(t.nextHop, n)
+	ws.settled = growBools(ws.settled, n)
+	for i := 0; i < n; i++ {
+		t.dist[i] = Infinite
+		t.parent[i] = topology.NoLink
+		t.nextHop[i] = topology.NoLink
+		ws.settled[i] = false
+	}
+	t.dist[root] = 0
+
+	pq := &ws.pq
+	pq.reset()
+	// Worst case one push per link plus the root (pushes only happen on a
+	// strict improvement, at most once per link): pre-sizing keeps the whole
+	// computation allocation-free.
+	if cap(pq.nodes) < nl+1 {
+		pq.nodes = make([]topology.NodeID, 0, nl+1)
+		pq.dists = make([]float64, 0, nl+1)
+	}
+	pq.push(root, 0)
+	for !pq.empty() {
+		u, _ := pq.pop()
+		if ws.settled[u] {
+			continue
+		}
+		ws.settled[u] = true
+		du := t.dist[u]
+		for _, lid := range g.Out(u) {
+			v := g.Link(lid).To
+			if ws.settled[v] {
+				continue
+			}
+			if d := du + ws.costs[lid]; d < t.dist[v] {
+				t.dist[v] = d
+				t.parent[v] = lid
+				if u == root {
+					t.nextHop[v] = lid
+				} else {
+					t.nextHop[v] = t.nextHop[u]
+				}
+				pq.push(v, d)
+			}
+		}
+	}
+	return t
+}
+
+// growFloats returns s resized to n, reusing its backing array when large
+// enough. Contents are unspecified.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growLinks(s []topology.LinkID, n int) []topology.LinkID {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]topology.LinkID, n)
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
+}

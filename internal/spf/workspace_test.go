@@ -1,0 +1,94 @@
+package spf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// treesMatch requires two trees to agree exactly: root, distances, parents
+// and next hops.
+func treesMatch(t *testing.T, got, want *Tree, label string) {
+	t.Helper()
+	if got.Root() != want.Root() {
+		t.Fatalf("%s: root = %v, want %v", label, got.Root(), want.Root())
+	}
+	if len(got.dist) != len(want.dist) {
+		t.Fatalf("%s: %d nodes, want %d", label, len(got.dist), len(want.dist))
+	}
+	for i := range want.dist {
+		n := topology.NodeID(i)
+		if got.Dist(n) != want.Dist(n) && !(math.IsInf(got.Dist(n), 1) && math.IsInf(want.Dist(n), 1)) {
+			t.Errorf("%s: Dist(%d) = %v, want %v", label, i, got.Dist(n), want.Dist(n))
+		}
+		if got.Parent(n) != want.Parent(n) {
+			t.Errorf("%s: Parent(%d) = %v, want %v", label, i, got.Parent(n), want.Parent(n))
+		}
+		if got.NextHop(n) != want.NextHop(n) {
+			t.Errorf("%s: NextHop(%d) = %v, want %v", label, i, got.NextHop(n), want.NextHop(n))
+		}
+	}
+}
+
+// TestComputeIntoDirtyWorkspace reuses one workspace across graphs of
+// different sizes and cost functions; every result must equal a fresh
+// Compute, no matter what the workspace previously held.
+func TestComputeIntoDirtyWorkspace(t *testing.T) {
+	big := topology.Arpanet()
+	small := topology.Ring(5, topology.T56)
+	varied := func(l topology.LinkID) float64 { return 1 + float64(l%7) }
+
+	ws := NewWorkspace()
+
+	// Larger graph first: arrays grow.
+	got := ComputeInto(ws, big, 3, varied)
+	treesMatch(t, got, Compute(big, 3, varied), "big/varied")
+
+	// Smaller graph into the now-dirty larger workspace: arrays shrink and
+	// stale distances/parents beyond the new size must not leak in.
+	got = ComputeInto(ws, small, 2, unit)
+	treesMatch(t, got, Compute(small, 2, unit), "small/unit")
+
+	// Back to the larger graph with different costs and root.
+	costs2 := func(l topology.LinkID) float64 { return 1 + float64(l%3) }
+	got = ComputeInto(ws, big, 17, costs2)
+	treesMatch(t, got, Compute(big, 17, costs2), "big/costs2")
+
+	// Repeat on the same graph: the result must be stable across reuse.
+	got = ComputeInto(ws, big, 17, costs2)
+	treesMatch(t, got, Compute(big, 17, costs2), "big/costs2 repeat")
+}
+
+// TestComputeIntoAliasing documents the ownership contract: the returned
+// tree is workspace-owned and overwritten by the next ComputeInto.
+func TestComputeIntoAliasing(t *testing.T) {
+	g := topology.Line(4, topology.T56)
+	ws := NewWorkspace()
+	first := ComputeInto(ws, g, 0, unit)
+	second := ComputeInto(ws, g, 3, unit)
+	if first != second {
+		t.Fatal("ComputeInto should return the workspace-owned tree both times")
+	}
+	if first.Root() != 3 {
+		t.Fatal("second computation should have overwritten the first")
+	}
+}
+
+// TestComputeIntoValidatesAllCosts: validation is hoisted out of the
+// relaxation loop, so even a link the search would never scan is checked.
+func TestComputeIntoValidatesAllCosts(t *testing.T) {
+	g := topology.Line(3, topology.T56)
+	bad, _ := g.FindTrunk(2, 1) // link out of the far end, never relaxed from root 0 before node 2 settles
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive cost should panic even on an unscanned link")
+		}
+	}()
+	ComputeInto(NewWorkspace(), g, 0, func(l topology.LinkID) float64 {
+		if l == bad {
+			return -1
+		}
+		return 1
+	})
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the Table/Figure benchmarks and snapshot the results as BENCH_<n>.json.
+#
+# Usage:
+#   scripts/bench.sh                      # full sweep, 1x benchtime, auto-numbered snapshot
+#   BENCH='BenchmarkFig10.*' scripts/bench.sh      # restrict the benchmark pattern
+#   BENCHTIME=2s scripts/bench.sh out.json         # longer runs, explicit output file
+#   NOTES='after spf rewrite' scripts/bench.sh     # annotate the snapshot
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${BENCH:-.}"
+benchtime="${BENCHTIME:-1x}"
+out="${1:-}"
+notes="${NOTES:-}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" ./... | tee "$raw"
+
+args=(-notes "$notes")
+if [ -n "$out" ]; then
+  args+=(-o "$out")
+fi
+go run ./cmd/benchreport "${args[@]}" < "$raw"
