@@ -41,6 +41,7 @@ func main() {
 		seeds    = flag.Int("seeds", 1, "number of independent seeds to average over")
 		asJSON   = flag.Bool("json", false, "emit reports as JSON instead of the table")
 		topoName = flag.String("topology", "arpanet", "arpanet or milnet (the companion study's network)")
+		scenFile = flag.String("scenario", "", "fault-injection script to run instead of the Table 1 study")
 	)
 	flag.Parse()
 	if *seeds < 1 {
@@ -56,6 +57,11 @@ func main() {
 		// MILNET's aggregate capacity is smaller; rescale the default load
 		// to the equivalent regime (see milnet_test.go).
 		*trafficK = 150
+	}
+
+	if *scenFile != "" {
+		runScenario(*scenFile, *metricName, *trafficK*1000, *warmup, *seed, *seeds, *asJSON)
+		return
 	}
 
 	switch *metricName {

@@ -1,0 +1,251 @@
+package network
+
+// Invariant auditing and runtime traffic control for the scenario engine.
+//
+// The auditors check, from outside the event loop, that the simulator's
+// books balance: every offered packet is delivered, dropped into exactly
+// one drop class, or still demonstrably in flight; every trunk runs at most
+// one transmitter; and, once floods quiesce, every PSN's cost database
+// matches what was last flooded. internal/scenario calls these at every
+// checkpoint, turning the failure-path bugfixes into permanently enforced
+// invariants.
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// Conservation is a snapshot of the packet ledger over Counted packets
+// (user packets generated inside the measurement window).
+type Conservation struct {
+	Offered      int64
+	Delivered    int64
+	BufferDrops  int64
+	LoopDrops    int64
+	NoRouteDrops int64
+	OutageDrops  int64
+	InFlight     int64 // queued, on a transmitter, or propagating
+}
+
+// Balanced reports whether the ledger balances: offered equals delivered
+// plus every drop class plus in-flight.
+func (c Conservation) Balanced() bool {
+	return c.Offered == c.Delivered+c.BufferDrops+c.LoopDrops+c.NoRouteDrops+c.OutageDrops+c.InFlight
+}
+
+// Err returns nil when balanced, or an error naming the imbalance.
+func (c Conservation) Err() error {
+	if c.Balanced() {
+		return nil
+	}
+	accounted := c.Delivered + c.BufferDrops + c.LoopDrops + c.NoRouteDrops + c.OutageDrops + c.InFlight
+	return fmt.Errorf("packet conservation violated: offered %d != accounted %d (missing %d): %+v",
+		c.Offered, accounted, c.Offered-accounted, c)
+}
+
+// Conservation computes the current packet ledger. The in-flight term is
+// counted by walking the queues and transmitters plus the propagation
+// counter — independently of the terminal counters — so a packet destroyed
+// without being booked into a drop class unbalances the ledger instead of
+// hiding.
+func (n *Network) Conservation() Conservation {
+	c := Conservation{
+		Offered:      n.offeredPkts.Value(),
+		Delivered:    n.delivered.Value(),
+		BufferDrops:  n.bufferDrops.Value(),
+		LoopDrops:    n.loopDrops.Value(),
+		NoRouteDrops: n.noRouteDrops.Value(),
+		OutageDrops:  n.outageDrops.Value(),
+		InFlight:     int64(n.propCounted),
+	}
+	counted := func(p *node.Packet) bool { return !p.IsRouting() && p.Counted }
+	for _, ls := range n.links {
+		ls.queue.Scan(func(p *node.Packet) {
+			if counted(p) {
+				c.InFlight++
+			}
+		})
+		if ls.txPkt != nil && counted(ls.txPkt) {
+			c.InFlight++
+		}
+	}
+	return c
+}
+
+// RoutingInFlight returns the number of routing packets (flooded updates
+// and distance-vector exchanges) currently queued, on a transmitter, or
+// propagating. Zero means the last flood has fully quiesced.
+func (n *Network) RoutingInFlight() int {
+	inFlight := n.propRouting
+	for _, ls := range n.links {
+		ls.queue.Scan(func(p *node.Packet) {
+			if p.IsRouting() {
+				inFlight++
+			}
+		})
+		if ls.txPkt != nil && ls.txPkt.IsRouting() {
+			inFlight++
+		}
+	}
+	return inFlight
+}
+
+// TransmitterAudit checks the single-transmitter-per-link invariant: a busy
+// link has exactly one in-flight packet and one pending completion event, an
+// idle link has neither, a down link transmits nothing and holds no backlog,
+// and an idle up link has no backlog (the transmitter is work-conserving).
+func (n *Network) TransmitterAudit() error {
+	for _, ls := range n.links {
+		name := fmt.Sprintf("link %d (%s->%s)", ls.link.ID,
+			n.g.Node(ls.link.From).Name, n.g.Node(ls.link.To).Name)
+		if ls.busy {
+			if ls.down {
+				return fmt.Errorf("%s: transmitting while down", name)
+			}
+			if ls.txPkt == nil {
+				return fmt.Errorf("%s: busy with no in-flight packet", name)
+			}
+			if !ls.txEvent.Pending() {
+				return fmt.Errorf("%s: busy with no pending completion event", name)
+			}
+		} else {
+			if ls.txPkt != nil {
+				return fmt.Errorf("%s: idle with an in-flight packet", name)
+			}
+			if ls.txEvent.Pending() {
+				return fmt.Errorf("%s: idle with a pending completion event (double transmitter)", name)
+			}
+			if !ls.down && ls.queue.Len() > 0 {
+				return fmt.Errorf("%s: idle with %d queued packets", name, ls.queue.Len())
+			}
+		}
+		if ls.down && ls.queue.Len() > 0 {
+			return fmt.Errorf("%s: down with %d queued packets", name, ls.queue.Len())
+		}
+	}
+	return nil
+}
+
+// ConvergenceAudit checks that every PSN's cost database matches the last
+// flooded cost of every link, within connected components: a PSN cut off by
+// a partition legitimately holds stale entries for the far side. The check
+// is inconclusive (nil) while routing packets are still in flight, and does
+// not apply to the 1969 distance-vector mode. Callers should additionally
+// allow one refresh interval (node.MaxUpdateInterval plus a measurement
+// period) after a topology change before treating a mismatch as a bug:
+// floods missed across a partition are only repaired by the periodic
+// refresh.
+func (n *Network) ConvergenceAudit() error {
+	if n.cfg.Metric == node.BF1969 {
+		return nil
+	}
+	if n.RoutingInFlight() > 0 {
+		return nil
+	}
+	comp := n.components()
+	for _, p := range n.psns {
+		for _, ls := range n.links {
+			if comp[p.id] != comp[ls.link.From] {
+				continue
+			}
+			var got float64
+			if p.mrouter != nil {
+				got = p.mrouter.Cost(ls.link.ID)
+			} else {
+				got = p.router.Cost(ls.link.ID)
+			}
+			if got != ls.lastFlooded {
+				return fmt.Errorf("PSN %s believes cost %v for link %d (%s->%s), last flooded %v",
+					n.g.Node(p.id).Name, got, ls.link.ID,
+					n.g.Node(ls.link.From).Name, n.g.Node(ls.link.To).Name, ls.lastFlooded)
+			}
+		}
+	}
+	return nil
+}
+
+// components labels each node with its connected component over up links.
+func (n *Network) components() []int {
+	comp := make([]int, n.g.NumNodes())
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var queue []topology.NodeID
+	for s := 0; s < n.g.NumNodes(); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], topology.NodeID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, l := range n.g.Out(u) {
+				if n.links[l].down {
+					continue
+				}
+				if v := n.g.Link(l).To; comp[v] < 0 {
+					comp[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// --- runtime traffic control ---------------------------------------------
+
+// ScaleTraffic multiplies every source's packet rate by factor, effective
+// from each source's next arrival — the scenario engine's traffic surge.
+func (n *Network) ScaleTraffic(factor float64) {
+	if factor <= 0 {
+		panic("network: traffic scale factor must be positive")
+	}
+	for _, p := range n.psns {
+		if p.pktRate > 0 {
+			p.pktRate *= factor
+		}
+	}
+	n.cfg.Trace.Add(trace.Event{At: n.kernel.Now(), Kind: trace.TrafficChange,
+		Node: topology.NoNode, Link: topology.NoLink, Cost: factor})
+}
+
+// SetMatrix switches the network to a new traffic matrix mid-run: every
+// source's rate and destination distribution are rebuilt, sources the old
+// matrix had silenced are re-armed, and sources the new matrix silences
+// park at their next arrival. The report's minimum-path baseline follows
+// the new matrix.
+func (n *Network) SetMatrix(m *traffic.Matrix) {
+	if m.NumNodes() != n.g.NumNodes() {
+		panic("network: matrix size does not match graph")
+	}
+	n.cfg.Matrix = m
+	for _, p := range n.psns {
+		p.dstIDs = p.dstIDs[:0]
+		p.dstCum = p.dstCum[:0]
+		n.setupSource(p)
+		if p.pktRate > 0 && !p.sourceArmed {
+			n.armSource(p)
+		}
+	}
+	n.cfg.Trace.Add(trace.Event{At: n.kernel.Now(), Kind: trace.TrafficChange,
+		Node: topology.NoNode, Link: topology.NoLink})
+}
+
+// LastFlooded returns the cost most recently flooded for the link.
+func (n *Network) LastFlooded(l topology.LinkID) float64 { return n.links[l].lastFlooded }
+
+// WarmupOver reports whether statistics collection has begun.
+func (n *Network) WarmupOver() bool { return n.warmed }
+
+// Stop halts the current Run after the executing event returns, leaving the
+// clock at the stopping event's time; the scenario engine uses it to freeze
+// the simulation at an invariant violation.
+func (n *Network) Stop() { n.kernel.Stop() }

@@ -35,6 +35,21 @@ const MaxHops = 64
 // DefaultQueueLimit is the per-trunk output buffer in packets.
 const DefaultQueueLimit = 40
 
+// User packet sizes are exponential with mean MeanPktBits, clamped to
+// [MinPktBits, MaxPktBits] (the ARPANET's single-packet message range).
+const (
+	MeanPktBits = 600.0
+	MinPktBits  = 100.0
+	MaxPktBits  = 8000.0
+)
+
+// clampedMeanPktBits is the true mean of the clamped size distribution:
+// E[clamp(X,a,b)] = a + λ(e^{-a/λ} - e^{-b/λ}) for X ~ Exp(λ). The source
+// rate must divide by this, not by the nominal λ, or offered bits run ~1.3%
+// above the traffic matrix in every experiment.
+var clampedMeanPktBits = MinPktBits +
+	MeanPktBits*(math.Exp(-MinPktBits/MeanPktBits)-math.Exp(-MaxPktBits/MeanPktBits))
+
 // Config describes one simulation run.
 type Config struct {
 	Graph  *topology.Graph
@@ -74,21 +89,27 @@ type Network struct {
 	pktSeq uint64
 	warmed bool
 
-	// Cumulative statistics (post-warmup unless noted).
-	offeredPkts         stats.Counter
-	offeredBits         float64
-	delivered           stats.Counter
-	deliveredBits       float64
-	delay               stats.Welford    // one-way delivery delay, seconds
-	delayHist           *stats.Histogram // same, for percentiles
-	hops                stats.Welford    // per delivered packet
-	loopDrops           stats.Counter
-	noRouteDrops        stats.Counter
-	updatesOrig         stats.Counter // routing updates originated
-	updateTx            stats.Counter // routing update transmissions
-	routingBits         float64
-	bufferDropsAtWarmup int64
-	measuredSince       sim.Time
+	// Cumulative statistics over Counted packets (generated post-warmup).
+	offeredPkts   stats.Counter
+	offeredBits   float64
+	delivered     stats.Counter
+	deliveredBits float64
+	delay         stats.Welford    // one-way delivery delay, seconds
+	delayHist     *stats.Histogram // same, for percentiles
+	hops          stats.Welford    // per delivered packet
+	loopDrops     stats.Counter
+	noRouteDrops  stats.Counter
+	bufferDrops   stats.Counter // Counted packets refused by full queues
+	outageDrops   stats.Counter // Counted packets destroyed by trunk failures
+	updatesOrig   stats.Counter // routing updates originated
+	updateTx      stats.Counter // routing update transmissions
+	routingBits   float64
+	measuredSince sim.Time
+
+	// In-flight propagation accounting: packets that have left a
+	// transmitter and are on the wire awaiting the far-end handlePacket.
+	propCounted int // Counted user packets propagating
+	propRouting int // routing packets propagating
 }
 
 type psn struct {
@@ -103,11 +124,12 @@ type psn struct {
 
 	// Traffic generation: total packet rate and cumulative destination
 	// distribution.
-	pktRate float64 // packets per second
-	dstCum  []float64
-	dstIDs  []topology.NodeID
-	rand    *rand.Rand
-	size    *rand.Rand
+	pktRate     float64 // packets per second
+	dstCum      []float64
+	dstIDs      []topology.NodeID
+	rand        *rand.Rand
+	size        *rand.Rand
+	sourceArmed bool // a sourceFire chain is scheduled
 }
 
 type linkState struct {
@@ -117,6 +139,18 @@ type linkState struct {
 	meas   node.Measurement
 	busy   bool
 	down   bool
+
+	// In-flight transmission: the packet on the transmitter and the handle
+	// of its completion event, so SetTrunkDown can cancel the transmission
+	// instead of letting a stale txDone fire after a repair and start a
+	// second concurrent transmitter.
+	txPkt   *node.Packet
+	txEvent sim.Handle
+
+	// lastFlooded is the cost most recently flooded for this link by its
+	// owning PSN (DownCost while out of service). The convergence auditor
+	// compares every PSN's database against it.
+	lastFlooded float64
 
 	txBitsWindow float64 // bits since the last utilization sample
 	series       *stats.Series
@@ -177,6 +211,7 @@ func New(cfg Config) *Network {
 		}
 		n.links[i] = ls
 		initial[i] = ls.module.Cost()
+		ls.lastFlooded = initial[i]
 	}
 
 	// PSNs with routers booted from the identical database.
@@ -227,7 +262,9 @@ func (n *Network) setupSource(p *psn) {
 			p.dstCum = append(p.dstCum, total)
 		}
 	}
-	p.pktRate = total / 600.0 // packets/s at the network-wide mean size
+	// packets/s at the *realized* mean size — the clamped-distribution mean,
+	// so offered bits match the matrix exactly in expectation.
+	p.pktRate = total / clampedMeanPktBits
 	for i := range p.dstCum {
 		p.dstCum[i] /= total
 	}
@@ -332,9 +369,13 @@ func (n *Network) scheduleTraffic() {
 		if p.pktRate <= 0 {
 			continue
 		}
-		p := p
-		n.kernel.Schedule(n.nextArrival(p), func(now sim.Time) { n.sourceFire(p, now) })
+		n.armSource(p)
 	}
+}
+
+func (n *Network) armSource(p *psn) {
+	p.sourceArmed = true
+	n.kernel.Schedule(n.nextArrival(p), func(now sim.Time) { n.sourceFire(p, now) })
 }
 
 func (n *Network) nextArrival(p *psn) sim.Time {
@@ -342,20 +383,27 @@ func (n *Network) nextArrival(p *psn) sim.Time {
 }
 
 func (n *Network) sourceFire(p *psn, now sim.Time) {
-	dst := p.pickDst()
-	size := sim.Exp(p.size, 600)
-	if size < 100 {
-		size = 100
+	if p.pktRate <= 0 {
+		// The matrix switched this source off; the chain parks until
+		// SetMatrix re-arms it.
+		p.sourceArmed = false
+		return
 	}
-	if size > 8000 {
-		size = 8000
+	dst := p.pickDst()
+	size := sim.Exp(p.size, MeanPktBits)
+	if size < MinPktBits {
+		size = MinPktBits
+	}
+	if size > MaxPktBits {
+		size = MaxPktBits
 	}
 	n.pktSeq++
 	pkt := &node.Packet{
 		Seq: n.pktSeq, Src: p.id, Dst: dst,
 		SizeBits: size, Created: now, Arrival: topology.NoLink,
+		Counted: n.warmed,
 	}
-	if n.warmed {
+	if pkt.Counted {
 		n.offeredPkts.Inc()
 		n.offeredBits += size
 	}
@@ -391,7 +439,7 @@ func (n *Network) handlePacket(p *psn, pkt *node.Packet, now sim.Time) {
 		return
 	}
 	if pkt.Dst == p.id {
-		if n.warmed {
+		if pkt.Counted {
 			n.delivered.Inc()
 			n.deliveredBits += pkt.SizeBits
 			n.delay.Add((now - pkt.Created).Seconds())
@@ -401,7 +449,7 @@ func (n *Network) handlePacket(p *psn, pkt *node.Packet, now sim.Time) {
 		return
 	}
 	if pkt.Hops >= MaxHops {
-		if n.warmed {
+		if pkt.Counted {
 			n.loopDrops.Inc()
 		}
 		n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketLooped, Node: p.id, Link: topology.NoLink})
@@ -409,7 +457,7 @@ func (n *Network) handlePacket(p *psn, pkt *node.Packet, now sim.Time) {
 	}
 	nh := p.nextHop(pkt.Dst)
 	if nh == topology.NoLink || n.links[nh].down {
-		if n.warmed {
+		if pkt.Counted {
 			n.noRouteDrops.Inc()
 		}
 		n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketNoRoute, Node: p.id, Link: nh})
@@ -421,31 +469,44 @@ func (n *Network) handlePacket(p *psn, pkt *node.Packet, now sim.Time) {
 func (n *Network) enqueue(ls *linkState, pkt *node.Packet, now sim.Time) {
 	pkt.Enqueued = now
 	if !ls.queue.Push(pkt) {
-		// Dropped; the queue counted it.
+		if pkt.Counted {
+			n.bufferDrops.Inc()
+		}
 		n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketDropped, Node: ls.link.From, Link: ls.link.ID})
 		return
 	}
-	if !ls.busy {
-		n.startTx(ls, now)
-	}
+	n.startTx(ls, now)
 }
 
+// startTx begins transmitting the next queued packet, if the link is up and
+// the transmitter idle. The busy guard is load-bearing: without it a stale
+// completion event surviving a down→up flap would start a second concurrent
+// transmitter and the trunk would run at 2× bandwidth forever after.
 func (n *Network) startTx(ls *linkState, now sim.Time) {
-	if ls.down {
-		ls.busy = false
+	if ls.busy || ls.down {
 		return
 	}
 	pkt := ls.queue.Pop()
 	if pkt == nil {
-		ls.busy = false
 		return
 	}
 	ls.busy = true
+	ls.txPkt = pkt
 	txTime := sim.FromSeconds(pkt.SizeBits / ls.link.Type.Bandwidth())
-	n.kernel.Schedule(txTime, func(t sim.Time) { n.txDone(ls, pkt, t) })
+	ls.txEvent = n.kernel.Schedule(txTime, func(t sim.Time) { n.txDone(ls, pkt, t) })
 }
 
 func (n *Network) txDone(ls *linkState, pkt *node.Packet, now sim.Time) {
+	if ls.txPkt != pkt {
+		// Stale completion: the transmission was cancelled by an outage
+		// after this event was already committed. SetTrunkDown cancels the
+		// handle so this should be unreachable; the guard keeps a missed
+		// cancellation from double-starting the transmitter.
+		return
+	}
+	ls.busy = false
+	ls.txPkt = nil
+	ls.txEvent = sim.Handle{}
 	// §2.2 measurement: queueing (+ transmission) delay, plus the fixed
 	// processing term. Propagation is tabled inside the metric module.
 	ls.meas.Record((now - pkt.Enqueued).Seconds() + node.ProcessingDelay.Seconds())
@@ -459,12 +520,41 @@ func (n *Network) txDone(ls *linkState, pkt *node.Packet, now sim.Time) {
 	}
 	pkt.Hops++
 	dest := n.psns[ls.link.To]
-	if !ls.down {
+	if ls.down {
+		// The trunk failed mid-transmission and the completion was not
+		// cancelled (unreachable today; kept so the packet can never vanish
+		// uncounted if a future code path forgets the cancel).
+		n.dropOutage(ls, pkt, now)
+	} else {
+		if pkt.IsRouting() {
+			n.propRouting++
+		} else if pkt.Counted {
+			n.propCounted++
+		}
 		n.kernel.Schedule(sim.FromSeconds(ls.link.PropDelay)+node.ProcessingDelay, func(t sim.Time) {
+			if pkt.IsRouting() {
+				n.propRouting--
+			} else if pkt.Counted {
+				n.propCounted--
+			}
 			n.handlePacket(dest, pkt, t)
 		})
 	}
 	n.startTx(ls, now)
+}
+
+// dropOutage accounts one packet destroyed by a trunk failure. Routing
+// packets are not counted — the flood refresh regenerates them — but user
+// packets inside the measurement window enter the outage-drop class so
+// conservation stays exact.
+func (n *Network) dropOutage(ls *linkState, pkt *node.Packet, now sim.Time) {
+	if pkt.IsRouting() {
+		return
+	}
+	if pkt.Counted {
+		n.outageDrops.Inc()
+	}
+	n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketOutage, Node: ls.link.From, Link: ls.link.ID})
 }
 
 // --- routing updates ----------------------------------------------------
@@ -500,11 +590,12 @@ func (n *Network) originate(p *psn, now sim.Time) {
 	costs := make([]float64, 0, len(out))
 	for _, l := range out {
 		links = append(links, l)
+		c := n.links[l].module.Cost()
 		if n.links[l].down {
-			costs = append(costs, DownCost)
-		} else {
-			costs = append(costs, n.links[l].module.Cost())
+			c = DownCost
 		}
+		costs = append(costs, c)
+		n.links[l].lastFlooded = c
 	}
 	u := flooding.NewUpdate(p.id, p.seq.Next(), links, costs)
 	p.dedup.Accept(u.Origin, u.Seq)
@@ -585,44 +676,67 @@ func (n *Network) scheduleSampling() {
 func (n *Network) startMeasuring() {
 	n.warmed = true
 	n.measuredSince = n.kernel.Now()
-	var drops int64
-	for _, ls := range n.links {
-		drops += ls.queue.Drops()
-	}
-	n.bufferDropsAtWarmup = drops
 }
 
 // --- link failures ------------------------------------------------------
 
 // SetTrunkDown takes both directions of the trunk containing link l out of
-// service and floods the news from both ends.
+// service and floods the news from both ends. Packets on the transmitters
+// and in the output queues are destroyed by the outage and counted as
+// outage drops — they do not vanish from the conservation ledger, and no
+// stale completion event survives to double-start a transmitter after a
+// repair. A no-op on a trunk that is already down.
 func (n *Network) SetTrunkDown(l topology.LinkID) {
+	if n.links[l].down {
+		return
+	}
 	now := n.kernel.Now()
 	n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.LinkDown, Node: n.g.Link(l).From, Link: l})
 	for _, id := range []topology.LinkID{l, n.g.Link(l).Reverse()} {
-		n.links[id].down = true
+		ls := n.links[id]
+		ls.down = true
+		// Cancel the in-flight transmission; the packet is lost.
+		if ls.busy {
+			ls.txEvent.Cancel()
+			n.dropOutage(ls, ls.txPkt, now)
+			ls.busy = false
+			ls.txPkt = nil
+			ls.txEvent = sim.Handle{}
+		}
+		// Flush the backlog into the outage-drop class. Nothing can be
+		// enqueued while the link is down, so the queue stays empty until
+		// the repair — and the first post-repair measurement period cannot
+		// be polluted by stale pre-outage Enqueued timestamps.
+		for pkt := ls.queue.Pop(); pkt != nil; pkt = ls.queue.Pop() {
+			n.dropOutage(ls, pkt, now)
+		}
+		// Discard partial delay samples from before the outage.
+		ls.meas.Take()
 	}
 	n.originate(n.psns[n.g.Link(l).From], now)
 	n.originate(n.psns[n.g.Link(l).To], now)
 }
 
 // SetTrunkUp returns the trunk to service. The metric modules Reset, so an
-// HN-SPF link comes back at its maximum cost and eases in (§5.4).
+// HN-SPF link comes back at its maximum cost and eases in (§5.4). A no-op
+// on a trunk that is already up.
 func (n *Network) SetTrunkUp(l topology.LinkID) {
+	if !n.links[l].down {
+		return
+	}
 	now := n.kernel.Now()
 	n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.LinkUp, Node: n.g.Link(l).From, Link: l})
 	for _, id := range []topology.LinkID{l, n.g.Link(l).Reverse()} {
 		ls := n.links[id]
 		ls.down = false
-		ls.busy = false
 		ls.module.Reset()
 		ls.meas.Take()
 	}
+	// Flooding the repair enqueues the updates on the restored trunk itself,
+	// which restarts its transmitter.
 	n.originate(n.psns[n.g.Link(l).From], now)
 	n.originate(n.psns[n.g.Link(l).To], now)
-	for _, id := range []topology.LinkID{l, n.g.Link(l).Reverse()} {
-		if ls := n.links[id]; !ls.busy && ls.queue.Len() > 0 {
-			n.startTx(ls, now)
-		}
-	}
 }
+
+// LinkIsDown reports whether the link is currently out of service.
+func (n *Network) LinkIsDown(l topology.LinkID) bool { return n.links[l].down }

@@ -25,13 +25,18 @@ type Report struct {
 	MinPathHops          float64 // traffic-weighted min-hop path length
 	PathRatio            float64 // actual / minimum
 
-	// Congestion and loss.
+	// Congestion and loss. All packet counters cover packets generated
+	// inside the measurement window, so they satisfy the conservation
+	// identity OfferedPackets == DeliveredPackets + BufferDrops + LoopDrops
+	// + NoRouteDrops + OutageDrops + InFlightPackets.
 	OfferedKbps      float64
 	DeliveredPackets int64
 	OfferedPackets   int64
 	BufferDrops      int64 // Figure 13's "dropped packets"
 	LoopDrops        int64
 	NoRouteDrops     int64
+	OutageDrops      int64 // destroyed by trunk failures (queued or in flight)
+	InFlightPackets  int64 // still in the network at report time
 	DeliveredRatio   float64
 
 	// Overhead.
@@ -73,11 +78,14 @@ func (n *Network) Report() Report {
 	if n.updatesOrig.Value() > 0 {
 		r.UpdatePeriodPerNode = dur / (float64(n.updatesOrig.Value()) / float64(n.g.NumNodes()))
 	}
-	r.DeliveredPackets = n.delivered.Value()
-	r.OfferedPackets = n.offeredPkts.Value()
-	r.BufferDrops = n.BufferDrops()
-	r.LoopDrops = n.loopDrops.Value()
-	r.NoRouteDrops = n.noRouteDrops.Value()
+	cons := n.Conservation()
+	r.DeliveredPackets = cons.Delivered
+	r.OfferedPackets = cons.Offered
+	r.BufferDrops = cons.BufferDrops
+	r.LoopDrops = cons.LoopDrops
+	r.NoRouteDrops = cons.NoRouteDrops
+	r.OutageDrops = cons.OutageDrops
+	r.InFlightPackets = cons.InFlight
 	if r.OfferedPackets > 0 {
 		r.DeliveredRatio = float64(r.DeliveredPackets) / float64(r.OfferedPackets)
 	}
@@ -101,14 +109,9 @@ func (n *Network) Report() Report {
 	return r
 }
 
-// BufferDrops returns user packets dropped to full buffers since warmup.
-func (n *Network) BufferDrops() int64 {
-	var drops int64
-	for _, ls := range n.links {
-		drops += ls.queue.Drops()
-	}
-	return drops - n.bufferDropsAtWarmup
-}
+// BufferDrops returns user packets generated since warmup and dropped to
+// full buffers.
+func (n *Network) BufferDrops() int64 { return n.bufferDrops.Value() }
 
 // minPathHops is the traffic-weighted mean minimum (hop) path length over
 // the matrix — Table 1's "Internode Minimum Path".
@@ -150,6 +153,7 @@ func (r Report) String() string {
 	row("Internode Minimum Path", "%.2f", r.MinPathHops)
 	row("Path Ratio (Actual/Min.)", "%.2f", r.PathRatio)
 	row("Dropped Packets (buffers)", "%d", r.BufferDrops)
+	row("Dropped Packets (outages)", "%d", r.OutageDrops)
 	row("Delivered Ratio", "%.4f", r.DeliveredRatio)
 	row("Mean Link Utilization", "%.3f", r.MeanLinkUtilization)
 	return b.String()

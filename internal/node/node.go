@@ -39,6 +39,14 @@ type Packet struct {
 	Enqueued sim.Time // when placed on the current output queue
 	Hops     int      // links traversed so far
 
+	// Counted marks a user packet generated inside the measurement window.
+	// Every statistics site (delivery, each drop class, the in-flight walk)
+	// keys on it, so the conservation identity offered == delivered + drops
+	// + in-flight holds exactly over one well-defined packet population —
+	// packets created during warmup but still alive afterwards can bias
+	// neither side.
+	Counted bool
+
 	// Routing updates are flooded at high priority and are never user
 	// traffic; Update is non-nil exactly for them. Vector is the 1969
 	// distance-vector exchange payload (non-nil only in BF1969 mode).
@@ -124,6 +132,15 @@ func (q *Queue) Pop() *Packet {
 
 // Len returns the number of queued packets (all classes).
 func (q *Queue) Len() int { return len(q.items) }
+
+// Scan calls fn for every queued packet, head first. The callback must not
+// mutate the queue; the invariant auditor uses it to count in-flight
+// packets without disturbing them.
+func (q *Queue) Scan(fn func(*Packet)) {
+	for _, p := range q.items {
+		fn(p)
+	}
+}
 
 // Drops returns the number of user packets dropped for lack of buffers.
 func (q *Queue) Drops() int64 { return q.drops }

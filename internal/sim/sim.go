@@ -235,6 +235,9 @@ func (k *Kernel) Run() {
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline. Events scheduled at exactly the deadline do run.
+// If Stop is called mid-run the clock stays at the stopping event's time —
+// a run halted by an invariant violation must report when it halted, not
+// the deadline it never reached.
 func (k *Kernel) RunUntil(deadline Time) {
 	k.runGuard()
 	defer func() { k.running = false }()
@@ -245,8 +248,9 @@ func (k *Kernel) RunUntil(deadline Time) {
 		}
 		k.Step()
 	}
+	stopped := k.stopped
 	k.stopped = false
-	if k.now < deadline {
+	if !stopped && k.now < deadline {
 		k.now = deadline
 	}
 }

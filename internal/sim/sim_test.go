@@ -124,6 +124,32 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+func TestRunUntilStoppedKeepsClock(t *testing.T) {
+	// A run halted by Stop must leave the clock at the stopping event, not
+	// jump it to the deadline: a scenario that stops on an invariant
+	// violation reports the violation time.
+	k := New()
+	var lastFired Time
+	k.Schedule(2*Second, func(now Time) { lastFired = now; k.Stop() })
+	k.Schedule(5*Second, func(now Time) { lastFired = now })
+	k.RunUntil(100 * Second)
+	if lastFired != 2*Second {
+		t.Fatalf("stop event fired at %v, want 2s", lastFired)
+	}
+	if k.Now() != 2*Second {
+		t.Errorf("Now() = %v after mid-run Stop, want 2s", k.Now())
+	}
+	// Resuming drains the remaining events and then advances to the
+	// deadline as usual.
+	k.RunUntil(100 * Second)
+	if lastFired != 5*Second {
+		t.Errorf("resume did not fire the remaining event (last %v)", lastFired)
+	}
+	if k.Now() != 100*Second {
+		t.Errorf("Now() = %v after a drained run, want 100s", k.Now())
+	}
+}
+
 func TestStop(t *testing.T) {
 	k := New()
 	count := 0

@@ -24,6 +24,10 @@ const (
 	UpdateOriginate             // a PSN flooded a routing update
 	LinkDown                    // trunk taken out of service
 	LinkUp                      // trunk restored
+	PacketOutage                // packet destroyed by a trunk failure (queued or in flight)
+	TrafficChange               // traffic matrix scaled or switched mid-run
+
+	numKinds // count of kinds; keep last
 )
 
 // String names the kind.
@@ -41,6 +45,10 @@ func (k Kind) String() string {
 		return "link-down"
 	case LinkUp:
 		return "link-up"
+	case PacketOutage:
+		return "outage-drop"
+	case TrafficChange:
+		return "traffic-change"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -68,7 +76,7 @@ type Ring struct {
 	next    int
 	wrapped bool
 	dropped int64 // events overwritten
-	byKind  [6]int64
+	byKind  [numKinds]int64
 }
 
 // NewRing creates a ring holding up to capacity events.

@@ -17,12 +17,14 @@ type TraceKind = trace.Kind
 
 // The event kinds a simulation emits.
 const (
-	TraceDrop     = trace.PacketDropped
-	TraceNoRoute  = trace.PacketNoRoute
-	TraceLoop     = trace.PacketLooped
-	TraceUpdate   = trace.UpdateOriginate
-	TraceLinkDown = trace.LinkDown
-	TraceLinkUp   = trace.LinkUp
+	TraceDrop          = trace.PacketDropped
+	TraceNoRoute       = trace.PacketNoRoute
+	TraceLoop          = trace.PacketLooped
+	TraceUpdate        = trace.UpdateOriginate
+	TraceLinkDown      = trace.LinkDown
+	TraceLinkUp        = trace.LinkUp
+	TraceOutage        = trace.PacketOutage  // destroyed by a trunk failure
+	TraceTrafficChange = trace.TrafficChange // surge or matrix switch
 )
 
 // Trace returns the simulation's event log, or nil when tracing was not
