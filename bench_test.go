@@ -243,6 +243,34 @@ func BenchmarkBellmanFord1969(b *testing.B) {
 	b.ReportMetric(dspf, "delivered-dspf")
 }
 
+// BenchmarkSimPacketsPerSec measures raw packet-simulator throughput on the
+// Table-1 ARPANET workload: the revised metric at the calibrated peak-hour
+// load, 80 simulated seconds per iteration. The pkts/sec metric is offered
+// packets (measurement window) per wall-clock second; events/sec is kernel
+// events fired per wall-clock second — the two numbers the allocation-free
+// simulator core is judged by.
+func BenchmarkSimPacketsPerSec(b *testing.B) {
+	topo := Arpanet1987()
+	tr := topo.GravityTraffic(ArpanetWeights(), 280_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pkts, events int64
+	for i := 0; i < b.N; i++ {
+		s := NewSimulation(topo, tr, SimConfig{Metric: HNSPF, Seed: 1987, WarmupSeconds: 20})
+		s.RunSeconds(80)
+		r := s.Report()
+		if r.DeliveredPackets == 0 {
+			b.Fatal("no traffic delivered")
+		}
+		pkts += r.OfferedPackets
+		events += int64(s.n.Kernel().Fired())
+	}
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(pkts)/el, "pkts/sec")
+		b.ReportMetric(float64(events)/el, "events/sec")
+	}
+}
+
 // BenchmarkNewAnalysis measures the §5 model build through the public API —
 // the dominant cost behind Figures 7-12 and the target of the parallel,
 // workspace-recycling build.

@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -91,6 +92,100 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	printDelta(os.Stdout, path, snap)
+}
+
+// snapshotName matches the auto-numbered snapshot files.
+var snapshotName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// previousSnapshot finds the highest-numbered BENCH_<m>.json in path's
+// directory that precedes it (m < n when path itself is BENCH_<n>.json;
+// any m otherwise) and loads it. Returns nils when there is none.
+func previousSnapshot(path string) (string, *Snapshot) {
+	dir := filepath.Dir(path)
+	base := filepath.Base(path)
+	limit := 0
+	if m := snapshotName.FindStringSubmatch(base); m != nil {
+		limit, _ = strconv.Atoi(m[1])
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", nil
+	}
+	best, bestPath := 0, ""
+	for _, e := range entries {
+		m := snapshotName.FindStringSubmatch(e.Name())
+		if m == nil || e.Name() == base {
+			continue
+		}
+		k, _ := strconv.Atoi(m[1])
+		if (limit == 0 || k < limit) && k > best {
+			best, bestPath = k, filepath.Join(dir, e.Name())
+		}
+	}
+	if bestPath == "" {
+		return "", nil
+	}
+	data, err := os.ReadFile(bestPath)
+	if err != nil {
+		return "", nil
+	}
+	var s Snapshot
+	if json.Unmarshal(data, &s) != nil {
+		return "", nil
+	}
+	return bestPath, &s
+}
+
+// printDelta summarizes the new snapshot against the previous BENCH_<n>.json,
+// benchmark by benchmark: time, allocations and custom metrics.
+func printDelta(w io.Writer, path string, snap *Snapshot) {
+	prevPath, prev := previousSnapshot(path)
+	if prev == nil {
+		return
+	}
+	fmt.Fprintf(w, "delta vs %s:\n", filepath.Base(prevPath))
+	old := make(map[string]Result, len(prev.Benchmarks))
+	for _, r := range prev.Benchmarks {
+		old[r.Package+"/"+r.Name] = r
+	}
+	for _, r := range snap.Benchmarks {
+		p, ok := old[r.Package+"/"+r.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-44s (new)\n", r.Name)
+			continue
+		}
+		var parts []string
+		if p.NsPerOp > 0 && r.NsPerOp > 0 {
+			parts = append(parts, "ns/op "+deltaStr(p.NsPerOp, r.NsPerOp))
+		}
+		if p.AllocsPerOp != r.AllocsPerOp {
+			parts = append(parts, fmt.Sprintf("allocs/op %.0f\u2192%.0f", p.AllocsPerOp, r.AllocsPerOp))
+		}
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			if _, ok := p.Metrics[k]; ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			parts = append(parts, k+" "+deltaStr(p.Metrics[k], r.Metrics[k]))
+		}
+		if len(parts) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-44s %s\n", r.Name, strings.Join(parts, "  "))
+	}
+}
+
+// deltaStr renders "old→new (±x%)".
+func deltaStr(old, new float64) string {
+	s := fmt.Sprintf("%.4g\u2192%.4g", old, new)
+	if old != 0 {
+		s += fmt.Sprintf(" (%+.1f%%)", (new-old)/old*100)
+	}
+	return s
 }
 
 // parse consumes `go test -bench` output: pkg/goos/goarch/cpu headers and

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, path string, s *Snapshot) {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: some cpu
+BenchmarkKernelScheduleFire-8   1000000   87.3 ns/op   0 B/op   0 allocs/op   11457000 events/sec
+PASS
+ok  	repro/internal/sim	1.2s
+`)
+	snap, err := parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(snap.Benchmarks))
+	}
+	r := snap.Benchmarks[0]
+	if r.Name != "BenchmarkKernelScheduleFire" || r.Procs != 8 || r.NsPerOp != 87.3 ||
+		r.AllocsPerOp != 0 || r.Metrics["events/sec"] != 11457000 {
+		t.Fatalf("bad result: %+v", r)
+	}
+}
+
+func TestPreviousSnapshotPicksHighestEarlier(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, filepath.Join(dir, "BENCH_1.json"), &Snapshot{Notes: "one"})
+	writeSnap(t, filepath.Join(dir, "BENCH_2.json"), &Snapshot{Notes: "two"})
+	writeSnap(t, filepath.Join(dir, "BENCH_3.json"), &Snapshot{Notes: "three"})
+
+	path, prev := previousSnapshot(filepath.Join(dir, "BENCH_3.json"))
+	if prev == nil || filepath.Base(path) != "BENCH_2.json" || prev.Notes != "two" {
+		t.Fatalf("got %q %+v, want BENCH_2.json", path, prev)
+	}
+	if _, prev := previousSnapshot(filepath.Join(dir, "BENCH_1.json")); prev != nil {
+		t.Fatalf("BENCH_1 should have no predecessor, got %+v", prev)
+	}
+}
+
+func TestPrintDelta(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, filepath.Join(dir, "BENCH_1.json"), &Snapshot{Benchmarks: []Result{
+		{Name: "BenchmarkX", Package: "p", NsPerOp: 200, AllocsPerOp: 50,
+			Metrics: map[string]float64{"pkts/sec": 1000}},
+	}})
+	cur := &Snapshot{Benchmarks: []Result{
+		{Name: "BenchmarkX", Package: "p", NsPerOp: 100, AllocsPerOp: 0,
+			Metrics: map[string]float64{"pkts/sec": 2000}},
+		{Name: "BenchmarkNew", Package: "p", NsPerOp: 5},
+	}}
+	var buf strings.Builder
+	printDelta(&buf, filepath.Join(dir, "BENCH_2.json"), cur)
+	out := buf.String()
+	for _, want := range []string{
+		"delta vs BENCH_1.json",
+		"ns/op 200\u2192100 (-50.0%)",
+		"allocs/op 50\u21920",
+		"pkts/sec 1000\u21922000 (+100.0%)",
+		"(new)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("delta output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -91,20 +91,25 @@ func (d *Dedup) Last(origin topology.NodeID) (uint64, bool) {
 // ForwardLinks returns the links an update arriving at node via arrival
 // should be forwarded on: every outgoing link except the reverse of the
 // arrival link. Pass NoLink for locally originated updates (forwarded on
-// every link). The returned slice is freshly allocated.
+// every link). The returned slice is freshly allocated; hot paths use
+// AppendForwardLinks with a reusable buffer instead.
 func ForwardLinks(g *topology.Graph, node topology.NodeID, arrival topology.LinkID) []topology.LinkID {
-	out := g.Out(node)
-	fwd := make([]topology.LinkID, 0, len(out))
+	return AppendForwardLinks(nil, g, node, arrival)
+}
+
+// AppendForwardLinks appends the forward links to dst (usually dst[:0] of a
+// per-PSN scratch buffer) and returns it, allocating only on growth.
+func AppendForwardLinks(dst []topology.LinkID, g *topology.Graph, node topology.NodeID, arrival topology.LinkID) []topology.LinkID {
 	var skip topology.LinkID = topology.NoLink
 	if arrival != topology.NoLink {
 		skip = g.Link(arrival).Reverse()
 	}
-	for _, l := range out {
+	for _, l := range g.Out(node) {
 		if l != skip {
-			fwd = append(fwd, l)
+			dst = append(dst, l)
 		}
 	}
-	return fwd
+	return dst
 }
 
 // Sequencer hands out monotonically increasing sequence numbers for one

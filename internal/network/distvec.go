@@ -92,12 +92,12 @@ func (n *Network) dvExchange(p *psn, now sim.Time) {
 			continue
 		}
 		n.pktSeq++
-		n.enqueue(n.links[l], &node.Packet{
-			Seq: n.pktSeq, SizeBits: size, Created: now,
-			Vector: vec, Arrival: l,
-		}, now)
+		pkt := n.pool.Get()
+		pkt.Seq, pkt.SizeBits, pkt.Created = n.pktSeq, size, now
+		pkt.Vector, pkt.Arrival = vec, l
+		n.enqueue(n.links[l], pkt, now)
 	}
-	n.kernel.Schedule(dvExchangePeriod, func(t sim.Time) { n.dvExchange(p, t) })
+	n.kernel.ScheduleCall(dvExchangePeriod, n.dvExchangeFn, p)
 }
 
 // dvReceive stores a neighbor's vector; the next exchange recomputes.
@@ -119,8 +119,7 @@ func (n *Network) dvSetup() {
 	for i, p := range n.psns {
 		p.dv = newDVState(p.id, n.g.NumNodes())
 		offset := sim.Time(int64(dvExchangePeriod) * int64(i) / int64(len(n.psns)))
-		p := p
-		n.kernel.Schedule(offset+dvExchangePeriod, func(now sim.Time) { n.dvExchange(p, now) })
+		n.kernel.ScheduleCall(offset+dvExchangePeriod, n.dvExchangeFn, p)
 	}
 }
 

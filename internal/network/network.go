@@ -89,6 +89,22 @@ type Network struct {
 	pktSeq uint64
 	warmed bool
 
+	// pool recycles packets; every terminal site of the conservation ledger
+	// releases into it, which is exactly why recycling is safe — a packet
+	// the ledger still counts as in flight can never reach a Put.
+	pool node.PacketPool
+	// propFree recycles the propagation-event records (packet + link pairs
+	// riding the wire between txDone and the far-end handlePacket).
+	propFree *propEntry
+
+	// Bound callbacks for the closure-free kernel API, created once in New
+	// so the hot path never allocates a closure per event.
+	sourceFireFn sim.Call
+	txDoneFn     sim.Call
+	propArriveFn sim.Call
+	measureFn    sim.Call
+	dvExchangeFn sim.Call
+
 	// Cumulative statistics over Counted packets (generated post-warmup).
 	offeredPkts   stats.Counter
 	offeredBits   float64
@@ -130,6 +146,34 @@ type psn struct {
 	rand        *rand.Rand
 	size        *rand.Rand
 	sourceArmed bool // a sourceFire chain is scheduled
+
+	fwd []topology.LinkID // scratch for flood forwarding
+}
+
+// propEntry carries one packet across a link's propagation delay: the
+// argument of the shared propArrive callback. Entries are recycled through
+// the network's free-list.
+type propEntry struct {
+	pkt  *node.Packet
+	ls   *linkState
+	next *propEntry
+}
+
+func (n *Network) getProp() *propEntry {
+	e := n.propFree
+	if e == nil {
+		return &propEntry{}
+	}
+	n.propFree = e.next
+	e.next = nil
+	return e
+}
+
+func (n *Network) putProp(e *propEntry) {
+	e.pkt = nil
+	e.ls = nil
+	e.next = n.propFree
+	n.propFree = e
 }
 
 type linkState struct {
@@ -187,6 +231,11 @@ func New(cfg Config) *Network {
 		// 10 ms buckets to 10 s cover every plausible one-way delay.
 		delayHist: stats.NewHistogram(0, 10, 1000),
 	}
+	n.sourceFireFn = func(t sim.Time, a any) { n.sourceFire(a.(*psn), t) }
+	n.txDoneFn = func(t sim.Time, a any) { n.txDone(a.(*linkState), t) }
+	n.propArriveFn = func(t sim.Time, a any) { n.propArrive(a.(*propEntry), t) }
+	n.measureFn = func(t sim.Time, a any) { n.measure(a.(*psn), t) }
+	n.dvExchangeFn = func(t sim.Time, a any) { n.dvExchange(a.(*psn), t) }
 
 	// Per-link state and the shared initial cost database.
 	initial := make([]float64, n.g.NumLinks())
@@ -375,7 +424,7 @@ func (n *Network) scheduleTraffic() {
 
 func (n *Network) armSource(p *psn) {
 	p.sourceArmed = true
-	n.kernel.Schedule(n.nextArrival(p), func(now sim.Time) { n.sourceFire(p, now) })
+	n.kernel.ScheduleCall(n.nextArrival(p), n.sourceFireFn, p)
 }
 
 func (n *Network) nextArrival(p *psn) sim.Time {
@@ -398,17 +447,17 @@ func (n *Network) sourceFire(p *psn, now sim.Time) {
 		size = MaxPktBits
 	}
 	n.pktSeq++
-	pkt := &node.Packet{
-		Seq: n.pktSeq, Src: p.id, Dst: dst,
-		SizeBits: size, Created: now, Arrival: topology.NoLink,
-		Counted: n.warmed,
-	}
+	pkt := n.pool.Get()
+	pkt.Seq, pkt.Src, pkt.Dst = n.pktSeq, p.id, dst
+	pkt.SizeBits, pkt.Created = size, now
+	pkt.Arrival = topology.NoLink
+	pkt.Counted = n.warmed
 	if pkt.Counted {
 		n.offeredPkts.Inc()
 		n.offeredBits += size
 	}
 	n.handlePacket(p, pkt, now)
-	n.kernel.Schedule(n.nextArrival(p), func(t sim.Time) { n.sourceFire(p, t) })
+	n.kernel.ScheduleCall(n.nextArrival(p), n.sourceFireFn, p)
 }
 
 func (p *psn) pickDst() topology.NodeID {
@@ -436,6 +485,9 @@ func (n *Network) handlePacket(p *psn, pkt *node.Packet, now sim.Time) {
 		} else {
 			n.handleUpdate(p, pkt, now)
 		}
+		// Routing consumption: the update's payload lives on (flood copies
+		// share it); the carrying packet is done.
+		n.pool.Put(pkt)
 		return
 	}
 	if pkt.Dst == p.id {
@@ -446,6 +498,7 @@ func (n *Network) handlePacket(p *psn, pkt *node.Packet, now sim.Time) {
 			n.delayHist.Add((now - pkt.Created).Seconds())
 			n.hops.Add(float64(pkt.Hops))
 		}
+		n.pool.Put(pkt)
 		return
 	}
 	if pkt.Hops >= MaxHops {
@@ -453,6 +506,7 @@ func (n *Network) handlePacket(p *psn, pkt *node.Packet, now sim.Time) {
 			n.loopDrops.Inc()
 		}
 		n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketLooped, Node: p.id, Link: topology.NoLink})
+		n.pool.Put(pkt)
 		return
 	}
 	nh := p.nextHop(pkt.Dst)
@@ -461,6 +515,7 @@ func (n *Network) handlePacket(p *psn, pkt *node.Packet, now sim.Time) {
 			n.noRouteDrops.Inc()
 		}
 		n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketNoRoute, Node: p.id, Link: nh})
+		n.pool.Put(pkt)
 		return
 	}
 	n.enqueue(n.links[nh], pkt, now)
@@ -473,6 +528,7 @@ func (n *Network) enqueue(ls *linkState, pkt *node.Packet, now sim.Time) {
 			n.bufferDrops.Inc()
 		}
 		n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketDropped, Node: ls.link.From, Link: ls.link.ID})
+		n.pool.Put(pkt)
 		return
 	}
 	n.startTx(ls, now)
@@ -493,11 +549,12 @@ func (n *Network) startTx(ls *linkState, now sim.Time) {
 	ls.busy = true
 	ls.txPkt = pkt
 	txTime := sim.FromSeconds(pkt.SizeBits / ls.link.Type.Bandwidth())
-	ls.txEvent = n.kernel.Schedule(txTime, func(t sim.Time) { n.txDone(ls, pkt, t) })
+	ls.txEvent = n.kernel.ScheduleCall(txTime, n.txDoneFn, ls)
 }
 
-func (n *Network) txDone(ls *linkState, pkt *node.Packet, now sim.Time) {
-	if ls.txPkt != pkt {
+func (n *Network) txDone(ls *linkState, now sim.Time) {
+	pkt := ls.txPkt
+	if !ls.busy || pkt == nil {
 		// Stale completion: the transmission was cancelled by an outage
 		// after this event was already committed. SetTrunkDown cancels the
 		// handle so this should be unreachable; the guard keeps a missed
@@ -519,7 +576,6 @@ func (n *Network) txDone(ls *linkState, pkt *node.Packet, now sim.Time) {
 		}
 	}
 	pkt.Hops++
-	dest := n.psns[ls.link.To]
 	if ls.down {
 		// The trunk failed mid-transmission and the completion was not
 		// cancelled (unreachable today; kept so the packet can never vanish
@@ -531,30 +587,38 @@ func (n *Network) txDone(ls *linkState, pkt *node.Packet, now sim.Time) {
 		} else if pkt.Counted {
 			n.propCounted++
 		}
-		n.kernel.Schedule(sim.FromSeconds(ls.link.PropDelay)+node.ProcessingDelay, func(t sim.Time) {
-			if pkt.IsRouting() {
-				n.propRouting--
-			} else if pkt.Counted {
-				n.propCounted--
-			}
-			n.handlePacket(dest, pkt, t)
-		})
+		e := n.getProp()
+		e.pkt, e.ls = pkt, ls
+		n.kernel.ScheduleCall(sim.FromSeconds(ls.link.PropDelay)+node.ProcessingDelay, n.propArriveFn, e)
 	}
 	n.startTx(ls, now)
+}
+
+// propArrive completes one link traversal: the packet reaches the far-end
+// PSN after the propagation and processing delays.
+func (n *Network) propArrive(e *propEntry, now sim.Time) {
+	pkt, ls := e.pkt, e.ls
+	n.putProp(e)
+	if pkt.IsRouting() {
+		n.propRouting--
+	} else if pkt.Counted {
+		n.propCounted--
+	}
+	n.handlePacket(n.psns[ls.link.To], pkt, now)
 }
 
 // dropOutage accounts one packet destroyed by a trunk failure. Routing
 // packets are not counted — the flood refresh regenerates them — but user
 // packets inside the measurement window enter the outage-drop class so
-// conservation stays exact.
+// conservation stays exact. Either way the packet's life ends here.
 func (n *Network) dropOutage(ls *linkState, pkt *node.Packet, now sim.Time) {
-	if pkt.IsRouting() {
-		return
+	if !pkt.IsRouting() {
+		if pkt.Counted {
+			n.outageDrops.Inc()
+		}
+		n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketOutage, Node: ls.link.From, Link: ls.link.ID})
 	}
-	if pkt.Counted {
-		n.outageDrops.Inc()
-	}
-	n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PacketOutage, Node: ls.link.From, Link: ls.link.ID})
+	n.pool.Put(pkt)
 }
 
 // --- routing updates ----------------------------------------------------
@@ -565,15 +629,15 @@ func (n *Network) handleUpdate(p *psn, pkt *node.Packet, now sim.Time) {
 		return
 	}
 	p.applyCosts(u.Links, u.Costs)
-	for _, l := range flooding.ForwardLinks(n.g, p.id, pkt.Arrival) {
+	p.fwd = flooding.AppendForwardLinks(p.fwd[:0], n.g, p.id, pkt.Arrival)
+	for _, l := range p.fwd {
 		if n.links[l].down {
 			continue
 		}
 		n.pktSeq++
-		copyPkt := &node.Packet{
-			Seq: n.pktSeq, SizeBits: u.SizeBits(),
-			Created: pkt.Created, Update: u, Arrival: l,
-		}
+		copyPkt := n.pool.Get()
+		copyPkt.Seq, copyPkt.SizeBits = n.pktSeq, u.SizeBits()
+		copyPkt.Created, copyPkt.Update, copyPkt.Arrival = pkt.Created, u, l
 		n.enqueue(n.links[l], copyPkt, now)
 	}
 }
@@ -605,15 +669,15 @@ func (n *Network) originate(p *psn, now sim.Time) {
 		n.updatesOrig.Inc()
 	}
 	n.cfg.Trace.Add(trace.Event{At: now, Kind: trace.UpdateOriginate, Node: p.id, Link: topology.NoLink})
-	for _, l := range flooding.ForwardLinks(n.g, p.id, topology.NoLink) {
+	p.fwd = flooding.AppendForwardLinks(p.fwd[:0], n.g, p.id, topology.NoLink)
+	for _, l := range p.fwd {
 		if n.links[l].down {
 			continue
 		}
 		n.pktSeq++
-		pkt := &node.Packet{
-			Seq: n.pktSeq, SizeBits: u.SizeBits(),
-			Created: now, Update: u, Arrival: l,
-		}
+		pkt := n.pool.Get()
+		pkt.Seq, pkt.SizeBits = n.pktSeq, u.SizeBits()
+		pkt.Created, pkt.Update, pkt.Arrival = now, u, l
 		n.enqueue(n.links[l], pkt, now)
 	}
 }
@@ -623,13 +687,12 @@ func (n *Network) originate(p *psn, now sim.Time) {
 func (n *Network) scheduleMeasurement() {
 	period := node.MeasurementPeriod
 	for i, p := range n.psns {
-		p := p
 		// Stagger the nodes' periods across the interval: the paper's PSNs
 		// measure asynchronously (though they *re-route* almost
 		// synchronously, because flooding is fast — that effect emerges
 		// from the packet-level flood, not from scheduling).
 		offset := sim.Time(int64(period) * int64(i) / int64(len(n.psns)))
-		n.kernel.Schedule(offset+period, func(now sim.Time) { n.measure(p, now) })
+		n.kernel.ScheduleCall(offset+period, n.measureFn, p)
 	}
 }
 
@@ -649,7 +712,7 @@ func (n *Network) measure(p *psn, now sim.Time) {
 	if report || now-p.lastOriginated >= node.MaxUpdateInterval {
 		n.originate(p, now)
 	}
-	n.kernel.Schedule(node.MeasurementPeriod, func(t sim.Time) { n.measure(p, t) })
+	n.kernel.ScheduleCall(node.MeasurementPeriod, n.measureFn, p)
 }
 
 // --- utilization sampling -----------------------------------------------

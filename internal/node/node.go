@@ -53,6 +53,42 @@ type Packet struct {
 	Update  *flooding.Update
 	Vector  *Vector
 	Arrival topology.LinkID // link the packet arrived on (NoLink at origin)
+
+	poolNext *Packet // free-list link; non-nil only while pooled
+}
+
+// PacketPool recycles Packets through an intrusive free-list so a long run
+// allocates no packet after warm-up. Safety rests on the conservation
+// ledger: a packet is released exactly at the terminal sites the ledger
+// enumerates (delivered, each drop class, routing consumption), so a packet
+// still queued, on a transmitter, or propagating can never be recycled —
+// the ledger would not balance if one were unaccounted.
+//
+// Not safe for concurrent use; each Network owns one.
+type PacketPool struct {
+	free *Packet
+}
+
+// Get returns a zeroed packet, recycling a released one when available.
+func (pp *PacketPool) Get() *Packet {
+	p := pp.free
+	if p == nil {
+		return &Packet{}
+	}
+	pp.free = p.poolNext
+	p.poolNext = nil
+	return p
+}
+
+// Put releases a packet back to the pool, zeroing every field so no state
+// can leak into its next life. Releasing the same packet twice panics —
+// that would silently alias two live packets later.
+func (pp *PacketPool) Put(p *Packet) {
+	if p == pp.free || p.poolNext != nil {
+		panic("node: packet released twice")
+	}
+	*p = Packet{poolNext: pp.free}
+	pp.free = p
 }
 
 // Vector is a 1969 distance-vector table as exchanged between neighbors
@@ -70,9 +106,17 @@ func (p *Packet) IsRouting() bool { return p.Update != nil || p.Vector != nil }
 // at the front (the PSN processes and forwards them at high priority,
 // §3.2 factor 3) and are never dropped; user packets are dropped when the
 // buffer is full — the congestion signal of Figure 13.
+//
+// The store is a ring buffer: head-insert for routing packets and Pop are
+// O(1), where the previous slice implementation shifted every element on
+// both paths. The user-packet count is tracked incrementally so the limit
+// check no longer scans the queue.
 type Queue struct {
 	limit   int // maximum queued user packets
-	items   []*Packet
+	buf     []*Packet
+	head    int // index of the front packet
+	n       int // packets in the queue (all classes)
+	users   int // user packets in the queue
 	drops   int64
 	maxSeen int
 }
@@ -85,60 +129,76 @@ func NewQueue(limit int) *Queue {
 	return &Queue{limit: limit}
 }
 
+// grow doubles the ring, linearizing the contents. Only routing packets can
+// push the length past the user limit, so growth is rare.
+func (q *Queue) grow() {
+	capacity := len(q.buf) * 2
+	if capacity == 0 {
+		capacity = 16
+	}
+	buf := make([]*Packet, capacity)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
 // Push enqueues a packet and reports whether it was accepted. Routing
 // packets are placed at the head and always accepted.
 func (q *Queue) Push(p *Packet) bool {
 	if p.IsRouting() {
-		q.items = append(q.items, nil)
-		copy(q.items[1:], q.items)
-		q.items[0] = p
-		if len(q.items) > q.maxSeen {
-			q.maxSeen = len(q.items)
+		if q.n == len(q.buf) {
+			q.grow()
+		}
+		q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+		q.buf[q.head] = p
+		q.n++
+		if q.n > q.maxSeen {
+			q.maxSeen = q.n
 		}
 		return true
 	}
-	if q.userCount() >= q.limit {
+	if q.users >= q.limit {
 		q.drops++
 		return false
 	}
-	q.items = append(q.items, p)
-	if len(q.items) > q.maxSeen {
-		q.maxSeen = len(q.items)
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+	q.users++
+	if q.n > q.maxSeen {
+		q.maxSeen = q.n
 	}
 	return true
 }
 
-func (q *Queue) userCount() int {
-	n := 0
-	for _, p := range q.items {
-		if !p.IsRouting() {
-			n++
-		}
-	}
-	return n
-}
-
 // Pop dequeues the next packet, or nil if empty.
 func (q *Queue) Pop() *Packet {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	p := q.items[0]
-	copy(q.items, q.items[1:])
-	q.items[len(q.items)-1] = nil
-	q.items = q.items[:len(q.items)-1]
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	if !p.IsRouting() {
+		q.users--
+	}
 	return p
 }
 
 // Len returns the number of queued packets (all classes).
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.n }
 
 // Scan calls fn for every queued packet, head first. The callback must not
 // mutate the queue; the invariant auditor uses it to count in-flight
 // packets without disturbing them.
 func (q *Queue) Scan(fn func(*Packet)) {
-	for _, p := range q.items {
-		fn(p)
+	for i := 0; i < q.n; i++ {
+		fn(q.buf[(q.head+i)%len(q.buf)])
 	}
 }
 

@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+// Kernel throughput benchmarks: one schedule+fire cycle is the unit of work
+// every simulated packet-hop pays at least twice (transmission completion,
+// propagation arrival). The steady-state target is 0 allocs/op — the event
+// queue must recycle its items rather than feed the garbage collector.
+
+// BenchmarkKernelScheduleFire measures the empty-queue schedule+fire cycle.
+func BenchmarkKernelScheduleFire(b *testing.B) {
+	k := New()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(Microsecond, fn)
+		k.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkKernelChurn1k measures the cycle against a heap holding 1024
+// pending events — the depth a busy ARPANET run sustains.
+func BenchmarkKernelChurn1k(b *testing.B) {
+	k := New()
+	fn := func(Time) {}
+	for i := 0; i < 1024; i++ {
+		k.Schedule(Time(i)*Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(1024*Microsecond, fn)
+		k.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkKernelCancelHeavy measures the schedule+cancel+drain pattern the
+// network's transmitter teardown path uses: half the scheduled events are
+// cancelled before they can fire.
+func BenchmarkKernelCancelHeavy(b *testing.B) {
+	k := New()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := k.Schedule(Microsecond, fn)
+		k.Schedule(2*Microsecond, fn)
+		h.Cancel()
+		k.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}

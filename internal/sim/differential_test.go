@@ -1,0 +1,130 @@
+package sim
+
+// Differential test: the concrete event heap must order events exactly like
+// a container/heap reference under an adversarial random mix of schedules,
+// same-time ties and cancellations. Any divergence in fire order would be a
+// silent determinism break for every simulation built on the kernel.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refItem / refHeap reimplement the kernel's pre-rewrite event queue: a
+// container/heap over (at, seq) with lazily drained cancellations.
+type refItem struct {
+	at      Time
+	seq     uint64
+	id      int
+	stopped bool
+}
+
+type refHeap []*refItem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(*refItem)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+type refKernel struct {
+	now   Time
+	seq   uint64
+	queue refHeap
+}
+
+func (k *refKernel) schedule(delay Time, id int) *refItem {
+	if delay < 0 {
+		delay = 0
+	}
+	it := &refItem{at: k.now + delay, seq: k.seq, id: id}
+	k.seq++
+	heap.Push(&k.queue, it)
+	return it
+}
+
+func (k *refKernel) step() (int, bool) {
+	for len(k.queue) > 0 {
+		it := heap.Pop(&k.queue).(*refItem)
+		if it.stopped {
+			continue
+		}
+		k.now = it.at
+		return it.id, true
+	}
+	return 0, false
+}
+
+func TestDifferentialFireOrder(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := New()
+		ref := &refKernel{}
+
+		var fired, refFired []int
+		var handles []Handle
+		var refHandles []*refItem
+		nextID := 0
+
+		// A random interleaving of schedule bursts (with deliberate time
+		// collisions), cancellations of random live events, and steps.
+		for op := 0; op < 2000; op++ {
+			switch r := rng.Float64(); {
+			case r < 0.45:
+				delay := Time(rng.Intn(50)) * Millisecond // collisions likely
+				id := nextID
+				nextID++
+				handles = append(handles, k.Schedule(delay, func(Time) { fired = append(fired, id) }))
+				refHandles = append(refHandles, ref.schedule(delay, id))
+			case r < 0.60 && len(handles) > 0:
+				i := rng.Intn(len(handles))
+				handles[i].Cancel()
+				refHandles[i].stopped = true
+			default:
+				k.Step()
+				if id, ok := ref.step(); ok {
+					refFired = append(refFired, id)
+				}
+			}
+		}
+		// Drain both completely.
+		for k.Step() {
+		}
+		for {
+			id, ok := ref.step()
+			if !ok {
+				break
+			}
+			refFired = append(refFired, id)
+		}
+
+		if len(fired) != len(refFired) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(fired), len(refFired))
+		}
+		for i := range fired {
+			if fired[i] != refFired[i] {
+				t.Fatalf("seed %d: fire order diverged at %d: got event %d, reference %d",
+					seed, i, fired[i], refFired[i])
+			}
+		}
+		if k.now != ref.now {
+			t.Fatalf("seed %d: clock %v, reference %v", seed, k.now, ref.now)
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("seed %d: %d events pending after drain", seed, k.Pending())
+		}
+	}
+}

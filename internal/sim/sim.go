@@ -5,12 +5,18 @@
 // reproducible across platforms. Events scheduled for the same instant fire
 // in the order they were scheduled (FIFO tie-break by sequence number).
 //
+// The event queue is allocation-free in steady state: heap entries are
+// recycled through an intrusive free-list once fired or drained, and the
+// ScheduleCall variants take a reusable callback plus an argument instead of
+// a per-event closure, so a long run puts no pressure on the garbage
+// collector. Handles carry a generation tag so a stale Handle can never
+// cancel the event that later reuses its recycled entry.
+//
 // The kernel knows nothing about networks; internal/network builds the
 // ARPANET model on top of it.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -41,87 +47,79 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 // Event is a callback scheduled to run at a particular simulation time.
 type Event func(now Time)
 
-// item is a heap entry. seq breaks ties so same-time events run FIFO.
+// Call is the closure-free callback form: a reusable function invoked with
+// the argument it was scheduled with. Hot paths that would otherwise build
+// a fresh closure per event bind one Call once and pass varying arguments.
+type Call func(now Time, arg any)
+
+// item is a heap entry. seq breaks ties so same-time events run FIFO. Fired
+// and drained items are recycled through the kernel's free-list; gen is
+// bumped at every recycle so outstanding Handles to the old life of the
+// entry turn inert instead of acting on its new occupant.
 type item struct {
 	at      Time
 	seq     uint64
-	fn      Event
+	fn      Event // closure form (nil when cfn is set)
+	cfn     Call  // callback+arg form
+	arg     any
 	stopped bool
-	index   int
+	index   int    // heap position, -1 once removed
+	gen     uint64 // recycle generation
+	next    *item  // free-list link
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and inert.
 type Handle struct {
-	k  *Kernel
-	it *item
+	k   *Kernel
+	it  *item
+	gen uint64
 }
+
+// live reports whether the handle still refers to the scheduled event it
+// was created for (the entry may since have been recycled for another).
+func (h Handle) live() bool { return h.it != nil && h.it.gen == h.gen }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancel reports whether the event was
-// still pending.
+// still pending. The callback and its argument are released immediately —
+// a cancelled entry may sit in the heap until drained lazily, and must not
+// pin packets or other payloads alive meanwhile.
 func (h Handle) Cancel() bool {
-	if h.it == nil || h.it.stopped {
+	if !h.live() || h.it.stopped {
 		return false
 	}
-	h.it.stopped = true
+	it := h.it
+	it.stopped = true
+	it.fn = nil
+	it.cfn = nil
+	it.arg = nil
 	// The item stays in the heap until drained lazily; track it so Pending
 	// stays exact.
-	if h.it.index >= 0 && h.k != nil {
+	if it.index >= 0 && h.k != nil {
 		h.k.cancelled++
 	}
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
-func (h Handle) Pending() bool { return h.it != nil && !h.it.stopped && h.it.index >= 0 }
-
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	it := x.(*item)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
-}
+func (h Handle) Pending() bool { return h.live() && !h.it.stopped && h.it.index >= 0 }
 
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; create one with New.
 type Kernel struct {
 	now       Time
 	seq       uint64
-	queue     eventHeap
-	cancelled int // cancelled events not yet drained from the heap
+	queue     []*item
+	free      *item // intrusive free-list of recycled heap entries
+	cancelled int   // cancelled events not yet drained from the heap
 	running   bool
 	stopped   bool
 	fired     uint64
 }
 
 // New returns an empty kernel with the clock at time zero.
-func New() *Kernel {
-	k := &Kernel{}
-	heap.Init(&k.queue)
-	return k
-}
+func New() *Kernel { return &Kernel{} }
 
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
@@ -134,6 +132,30 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 // counted.
 func (k *Kernel) Pending() int { return len(k.queue) - k.cancelled }
 
+// alloc takes an entry off the free-list, or makes one on first use.
+func (k *Kernel) alloc() *item {
+	it := k.free
+	if it == nil {
+		return &item{}
+	}
+	k.free = it.next
+	it.next = nil
+	it.stopped = false
+	return it
+}
+
+// recycle retires an entry to the free-list, invalidating every Handle to
+// its current life and dropping any payload it still references.
+func (k *Kernel) recycle(it *item) {
+	it.gen++
+	it.fn = nil
+	it.cfn = nil
+	it.arg = nil
+	it.index = -1
+	it.next = k.free
+	k.free = it
+}
+
 // ErrPastEvent is returned by ScheduleAt when the requested time is before
 // the current simulation time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
@@ -144,10 +166,13 @@ func (k *Kernel) ScheduleAt(at Time, fn Event) (Handle, error) {
 	if at < k.now {
 		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, k.now)
 	}
-	it := &item{at: at, seq: k.seq, fn: fn}
+	it := k.alloc()
+	it.at = at
+	it.seq = k.seq
+	it.fn = fn
 	k.seq++
-	heap.Push(&k.queue, it)
-	return Handle{k: k, it: it}, nil
+	k.push(it)
+	return Handle{k: k, it: it, gen: it.gen}, nil
 }
 
 // Schedule schedules fn to run after delay (which may be zero). A negative
@@ -159,6 +184,37 @@ func (k *Kernel) Schedule(delay Time, fn Event) Handle {
 	h, err := k.ScheduleAt(k.now+delay, fn)
 	if err != nil {
 		// Unreachable: now+delay >= now for delay >= 0 (overflow aside).
+		panic(err)
+	}
+	return h
+}
+
+// ScheduleCallAt schedules fn(at, arg) at absolute time at. fn is typically
+// a long-lived function value shared by every event of its kind, so the
+// call allocates nothing in steady state (arg itself must be a pointer, or
+// it is boxed).
+func (k *Kernel) ScheduleCallAt(at Time, fn Call, arg any) (Handle, error) {
+	if at < k.now {
+		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, k.now)
+	}
+	it := k.alloc()
+	it.at = at
+	it.seq = k.seq
+	it.cfn = fn
+	it.arg = arg
+	k.seq++
+	k.push(it)
+	return Handle{k: k, it: it, gen: it.gen}, nil
+}
+
+// ScheduleCall schedules fn(now, arg) after delay (which may be zero). A
+// negative delay is treated as zero.
+func (k *Kernel) ScheduleCall(delay Time, fn Call, arg any) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	h, err := k.ScheduleCallAt(k.now+delay, fn, arg)
+	if err != nil {
 		panic(err)
 	}
 	return h
@@ -185,16 +241,21 @@ type Ticker struct {
 	stopped bool
 }
 
+// tickerFire is the single shared callback behind every ticker: re-arming
+// allocates no closure, only a recycled heap entry.
+func tickerFire(now Time, arg any) {
+	t := arg.(*Ticker)
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	if !t.stopped {
+		t.arm()
+	}
+}
+
 func (t *Ticker) arm() {
-	t.handle = t.k.Schedule(t.period, func(now Time) {
-		if t.stopped {
-			return
-		}
-		t.fn(now)
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.handle = t.k.ScheduleCall(t.period, tickerFire, t)
 }
 
 // Stop cancels all future firings.
@@ -210,15 +271,26 @@ func (k *Kernel) Stop() { k.stopped = true }
 // queue is empty.
 func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
-		it := heap.Pop(&k.queue).(*item)
+		it := k.pop()
 		if it.stopped {
 			k.cancelled--
+			k.recycle(it)
 			continue
 		}
 		k.now = it.at
-		it.stopped = true
 		k.fired++
-		it.fn(k.now)
+		it.stopped = true
+		// Move the callback to locals and recycle before invoking: the
+		// callback itself may schedule new events into this entry, and
+		// outstanding Handles are severed by the generation bump exactly as
+		// they were by the stopped flag alone.
+		fn, cfn, arg := it.fn, it.cfn, it.arg
+		k.recycle(it)
+		if cfn != nil {
+			cfn(k.now, arg)
+		} else {
+			fn(k.now)
+		}
 		return true
 	}
 	return false
@@ -265,12 +337,95 @@ func (k *Kernel) runGuard() {
 // peek returns the timestamp of the next runnable event.
 func (k *Kernel) peek() (Time, bool) {
 	for len(k.queue) > 0 {
-		if k.queue[0].stopped {
-			heap.Pop(&k.queue)
+		if top := k.queue[0]; top.stopped {
+			k.pop()
 			k.cancelled--
+			k.recycle(top)
 			continue
 		}
 		return k.queue[0].at, true
 	}
 	return 0, false
+}
+
+// --- event heap ----------------------------------------------------------
+//
+// A concrete binary min-heap over (at, seq), replacing container/heap: no
+// interface dispatch, no `any` boxing on push/pop, and the sifting loops
+// inline into Step. Ordering is identical to the container/heap version —
+// the differential test in sim_test.go drives both against the same random
+// workload and asserts equal fire order.
+
+// less orders entries by time, then by schedule order.
+func less(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push adds an entry and restores the heap property.
+func (k *Kernel) push(it *item) {
+	it.index = len(k.queue)
+	k.queue = append(k.queue, it)
+	k.siftUp(it.index)
+}
+
+// pop removes and returns the minimum entry.
+func (k *Kernel) pop() *item {
+	q := k.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	k.queue = q[:n]
+	if n > 0 {
+		k.queue[0] = last
+		last.index = 0
+		k.siftDown(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (k *Kernel) siftUp(i int) {
+	q := k.queue
+	it := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !less(it, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = it
+	it.index = i
+}
+
+func (k *Kernel) siftDown(i int) {
+	q := k.queue
+	n := len(q)
+	it := q[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && less(q[right], q[left]) {
+			child = right
+		}
+		c := q[child]
+		if !less(c, it) {
+			break
+		}
+		q[i] = c
+		c.index = i
+		i = child
+	}
+	q[i] = it
+	it.index = i
 }

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestTimeConversions(t *testing.T) {
@@ -358,4 +360,159 @@ func TestPendingWithPeekDrain(t *testing.T) {
 	if got := k.Pending(); got != 1 {
 		t.Errorf("Pending() after stopped ticker = %d, want 1", got)
 	}
+}
+
+// --- free-list, ScheduleCall and payload-retention tests (PR 3) ----------
+
+func TestScheduleCallOrderingAndArgs(t *testing.T) {
+	k := New()
+	var got []int
+	record := func(now Time, arg any) { got = append(got, arg.(int)) }
+	k.ScheduleCall(3*Second, record, 3)
+	k.ScheduleCall(1*Second, record, 1)
+	k.Schedule(2*Second, func(Time) { got = append(got, 2) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestScheduleCallAtPast(t *testing.T) {
+	k := New()
+	k.Schedule(2*Second, func(Time) {})
+	k.Run()
+	if _, err := k.ScheduleCallAt(Second, func(Time, any) {}, nil); err == nil {
+		t.Error("ScheduleCallAt in the past should error")
+	}
+}
+
+func TestScheduleCallCancel(t *testing.T) {
+	k := New()
+	fired := false
+	h := k.ScheduleCall(Second, func(Time, any) { fired = true }, nil)
+	if !h.Cancel() {
+		t.Error("first Cancel should report true")
+	}
+	k.Run()
+	if fired {
+		t.Error("cancelled ScheduleCall event fired")
+	}
+}
+
+// TestCancelReleasesPayload: a cancelled event sits in the heap until
+// lazily drained; its callback (and everything the closure captured — in
+// the simulator: packets, link state) must be released at cancel time, not
+// at drain time.
+func TestCancelReleasesPayload(t *testing.T) {
+	k := New()
+	payload := make([]byte, 1<<20)
+	h := k.Schedule(Second, func(Time) { _ = payload[0] })
+	hc := k.ScheduleCall(Second, func(Time, any) {}, &payload)
+	if h.Cancel(); h.it.fn != nil {
+		t.Error("Cancel left the closure (and its captures) referenced")
+	}
+	if hc.Cancel(); hc.it.cfn != nil || hc.it.arg != nil {
+		t.Error("Cancel left the callback/argument referenced")
+	}
+}
+
+// TestCancelledEventDoesNotPinPayload proves the release end to end: after
+// cancelling, the captured payload must become collectable even though the
+// heap entry has not drained.
+func TestCancelledEventDoesNotPinPayload(t *testing.T) {
+	k := New()
+	collected := make(chan struct{})
+	func() {
+		payload := new([1 << 20]byte)
+		runtime.SetFinalizer(payload, func(*[1 << 20]byte) { close(collected) })
+		h := k.Schedule(Second, func(Time) { _ = payload[0] })
+		k.Schedule(2*Second, func(Time) {}) // keeps the heap non-empty
+		h.Cancel()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled event still pins its captured payload")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestItemRecycling: fired entries return through the free-list, so the
+// steady-state schedule+fire cycle allocates nothing.
+func TestItemRecycling(t *testing.T) {
+	k := New()
+	fn := func(Time) {}
+	h1 := k.Schedule(Second, fn)
+	first := h1.it
+	k.Run()
+	h2 := k.Schedule(Second, fn)
+	if h2.it != first {
+		t.Error("fired entry was not recycled for the next schedule")
+	}
+	if h2.gen == h1.gen {
+		t.Error("recycled entry kept its generation")
+	}
+}
+
+// TestStaleHandleCannotTouchRecycledEntry: a Handle from a fired event must
+// be inert even after its entry is reused by a new event.
+func TestStaleHandleCannotTouchRecycledEntry(t *testing.T) {
+	k := New()
+	h1 := k.Schedule(Second, func(Time) {})
+	k.Run()
+	fired := false
+	h2 := k.Schedule(Second, func(Time) { fired = true })
+	if h1.it != h2.it {
+		t.Fatal("test premise: the entry should have been recycled")
+	}
+	if h1.Cancel() {
+		t.Error("stale Cancel reported success")
+	}
+	if h1.Pending() {
+		t.Error("stale handle reports pending")
+	}
+	if !h2.Pending() {
+		t.Error("stale Cancel killed the new occupant")
+	}
+	k.Run()
+	if !fired {
+		t.Error("new occupant did not fire after stale Cancel")
+	}
+}
+
+// TestSteadyStateZeroAllocs is the acceptance criterion of the
+// allocation-free core: once the free-list is primed, a schedule+fire cycle
+// — closure-free or not — performs zero heap allocations.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	k := New()
+	fn := func(Time) {}
+	call := func(Time, any) {}
+	arg := new(int)
+	k.Schedule(Microsecond, fn)
+	k.Step() // prime the free-list
+	if avg := testing.AllocsPerRun(1000, func() {
+		k.Schedule(Microsecond, fn)
+		k.Step()
+	}); avg != 0 {
+		t.Errorf("Schedule+Step allocates %.1f objects/op in steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		k.ScheduleCall(Microsecond, call, arg)
+		k.Step()
+	}); avg != 0 {
+		t.Errorf("ScheduleCall+Step allocates %.1f objects/op in steady state, want 0", avg)
+	}
+	tick := k.Every(Microsecond, fn)
+	k.Step() // prime the ticker's entry
+	if avg := testing.AllocsPerRun(1000, func() { k.Step() }); avg != 0 {
+		t.Errorf("ticker re-arm allocates %.1f objects/op in steady state, want 0", avg)
+	}
+	tick.Stop()
 }

@@ -33,6 +33,12 @@ type IncrementalRouter struct {
 	incremental int64 // in-place repairs
 	skipped     int64 // updates provably without effect
 	touched     int64 // total nodes visited by repairs
+
+	// Repair scratch, reused across updates so steady-state repairs
+	// allocate nothing.
+	pq    nodeHeap
+	inSet []bool
+	stack []topology.NodeID
 }
 
 // NewIncrementalRouter creates an incremental router with explicit initial
@@ -124,7 +130,8 @@ func (r *IncrementalRouter) repairDecrease(link topology.Link, c float64) {
 		return
 	}
 	r.incremental++
-	pq := &nodeHeap{}
+	pq := &r.pq
+	pq.reset()
 	r.improve(link.To, du+c, link.ID, pq)
 	r.relaxFrontier(pq, nil)
 }
@@ -180,8 +187,14 @@ func (r *IncrementalRouter) repairIncrease(link topology.Link) {
 
 	// Phase 1: collect the detached subtree (descendants of v, including v).
 	n := r.g.NumNodes()
-	inSet := make([]bool, n)
-	var stack []topology.NodeID
+	if len(r.inSet) != n {
+		r.inSet = make([]bool, n)
+	}
+	inSet := r.inSet
+	for i := range inSet {
+		inSet[i] = false
+	}
+	stack := r.stack[:0]
 	inSet[link.To] = true
 	stack = append(stack, link.To)
 	// children: nodes whose parent link originates at a set member. A
@@ -197,6 +210,7 @@ func (r *IncrementalRouter) repairIncrease(link topology.Link) {
 			}
 		}
 	}
+	r.stack = stack // keep the grown capacity for the next repair
 
 	// Phase 2: reset the detached nodes and seed the frontier with the
 	// best edge from the intact region into each detached node (including
@@ -208,7 +222,8 @@ func (r *IncrementalRouter) repairIncrease(link topology.Link) {
 			t.nextHop[i] = topology.NoLink
 		}
 	}
-	pq := &nodeHeap{}
+	pq := &r.pq
+	pq.reset()
 	for i := range inSet {
 		if !inSet[i] {
 			continue

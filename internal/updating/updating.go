@@ -70,14 +70,25 @@ type entry struct {
 	u     *Update // the accepted update, kept for line-up resync
 }
 
+// perLine is the reliable-transmission state for one outgoing line: the
+// update awaiting acknowledgment from each origin, in an origin-indexed
+// slot table. A slot table replaces the old map-of-maps: no allocation per
+// enqueue, and rounds sweep lines and origins in a fixed order, so the
+// engine consumes its rng deterministically.
+type perLine struct {
+	link  topology.LinkID
+	slots []*Update // pending update per origin; nil = none
+	n     int       // occupied slots
+}
+
 // Node is one PSN's protocol state.
 type Node struct {
 	id    topology.NodeID
 	table []entry
 
-	// pending[l] holds, per origin, the update awaiting acknowledgment on
-	// outgoing line l.
-	pending map[topology.LinkID]map[topology.NodeID]*Update
+	// lines holds the per-line pending tables, one entry per outgoing line
+	// of the node in topology order.
+	lines []perLine
 
 	// Received counts accepted (new) updates; Duplicates counts
 	// retransmissions and floods that carried nothing new.
@@ -101,7 +112,7 @@ type Network struct {
 	loss  float64
 
 	seq  []uint8 // next sequence number per origin
-	down map[topology.LinkID]bool
+	down []bool  // per link, indexed by LinkID
 
 	// Transmissions counts every update copy put on a line (including
 	// retransmissions) — the bandwidth cost of reliability.
@@ -123,14 +134,20 @@ func New(g *topology.Graph, loss float64, seed int64) *Network {
 		rng:  rand.New(rand.NewSource(seed)),
 		loss: loss,
 		seq:  make([]uint8, g.NumNodes()),
-		down: make(map[topology.LinkID]bool),
+		down: make([]bool, g.NumLinks()),
 	}
 	for i := 0; i < g.NumNodes(); i++ {
-		nw.nodes = append(nw.nodes, &Node{
-			id:      topology.NodeID(i),
-			table:   make([]entry, g.NumNodes()),
-			pending: make(map[topology.LinkID]map[topology.NodeID]*Update),
-		})
+		id := topology.NodeID(i)
+		out := g.Out(id)
+		n := &Node{
+			id:    id,
+			table: make([]entry, g.NumNodes()),
+			lines: make([]perLine, len(out)),
+		}
+		for j, l := range out {
+			n.lines[j] = perLine{link: l, slots: make([]*Update, g.NumNodes())}
+		}
+		nw.nodes = append(nw.nodes, n)
 	}
 	return nw
 }
@@ -151,12 +168,21 @@ func (nw *Network) Originate(origin topology.NodeID, costs []float64) *Update {
 
 // Restart clears a node's sequence counter and table — the PSN lost its
 // memory. Its next update starts from sequence 1; the rest of the network
-// accepts it once their aged entries expire.
+// accepts it once their aged entries expire. The tables are cleared in
+// place rather than reallocated.
 func (nw *Network) Restart(id topology.NodeID) {
 	nw.seq[id] = 0
 	n := nw.nodes[id]
-	n.table = make([]entry, nw.g.NumNodes())
-	n.pending = make(map[topology.LinkID]map[topology.NodeID]*Update)
+	for i := range n.table {
+		n.table[i] = entry{}
+	}
+	for i := range n.lines {
+		ln := &n.lines[i]
+		for j := range ln.slots {
+			ln.slots[j] = nil
+		}
+		ln.n = 0
+	}
 }
 
 func (n *Node) install(u *Update) {
@@ -177,18 +203,17 @@ func (nw *Network) enqueue(n *Node, u *Update, arrival topology.LinkID) {
 	if arrival != topology.NoLink {
 		skip = nw.g.Link(arrival).Reverse()
 	}
-	for _, l := range nw.g.Out(n.id) {
-		if l == skip {
+	for i := range n.lines {
+		ln := &n.lines[i]
+		if ln.link == skip {
 			continue
-		}
-		m := n.pending[l]
-		if m == nil {
-			m = make(map[topology.NodeID]*Update)
-			n.pending[l] = m
 		}
 		// A newer update from the same origin supersedes an unacked older
 		// one; there is never a reason to deliver the stale version.
-		m[u.Origin] = u
+		if ln.slots[u.Origin] == nil {
+			ln.n++
+		}
+		ln.slots[u.Origin] = u
 	}
 }
 
@@ -199,25 +224,28 @@ func (nw *Network) enqueue(n *Node, u *Update, arrival topology.LinkID) {
 // pending afterwards.
 func (nw *Network) Step() bool {
 	type delivery struct {
-		to      *Node
-		via     topology.LinkID
-		u       *Update
-		from    *Node
-		fromKey topology.LinkID
+		to   *Node
+		via  topology.LinkID
+		u    *Update
+		from *perLine
 	}
 	var deliveries []delivery
 	for _, n := range nw.nodes {
-		for l, m := range n.pending {
-			if nw.down[l] {
+		for i := range n.lines {
+			ln := &n.lines[i]
+			if nw.down[ln.link] || ln.n == 0 {
 				continue // pending copies wait out the outage
 			}
-			to := nw.nodes[nw.g.Link(l).To]
-			for _, u := range m {
+			to := nw.nodes[nw.g.Link(ln.link).To]
+			for _, u := range ln.slots {
+				if u == nil {
+					continue
+				}
 				nw.Transmissions++
 				if nw.rng.Float64() < nw.loss {
 					continue // lost; stays pending
 				}
-				deliveries = append(deliveries, delivery{to: to, via: l, u: u, from: n, fromKey: l})
+				deliveries = append(deliveries, delivery{to: to, via: ln.link, u: u, from: ln})
 			}
 		}
 	}
@@ -226,8 +254,9 @@ func (nw *Network) Step() bool {
 	for _, d := range deliveries {
 		// Acknowledged: the sender stops retransmitting this copy
 		// (unless a newer one replaced it meanwhile).
-		if cur := d.from.pending[d.fromKey][d.u.Origin]; cur == d.u {
-			delete(d.from.pending[d.fromKey], d.u.Origin)
+		if d.from.slots[d.u.Origin] == d.u {
+			d.from.slots[d.u.Origin] = nil
+			d.from.n--
 		}
 		if d.to.wants(d.u) {
 			d.to.Received++
@@ -252,8 +281,8 @@ func (nw *Network) Step() bool {
 				n.table[o] = entry{}
 			}
 		}
-		for l, m := range n.pending {
-			if len(m) > 0 && !nw.down[l] {
+		for i := range n.lines {
+			if n.lines[i].n > 0 && !nw.down[n.lines[i].link] {
 				pendingLeft = true
 			}
 		}
@@ -281,23 +310,32 @@ func (nw *Network) SetLineDown(l topology.LinkID) {
 	nw.down[nw.g.Link(l).Reverse()] = true
 }
 
+// line returns the node's per-line table for outgoing link l.
+func (n *Node) line(l topology.LinkID) *perLine {
+	for i := range n.lines {
+		if n.lines[i].link == l {
+			return &n.lines[i]
+		}
+	}
+	panic(fmt.Sprintf("updating: link %d is not a line of node %d", l, n.id))
+}
+
 // SetLineUp restores a line. Per the protocol, both endpoints resynchronize
 // the new neighbor by queueing their *entire* update tables on the line —
 // the neighbor may have missed arbitrary updates during the outage.
 func (nw *Network) SetLineUp(l topology.LinkID) {
 	for _, id := range []topology.LinkID{l, nw.g.Link(l).Reverse()} {
-		delete(nw.down, id)
+		nw.down[id] = false
 		from := nw.nodes[nw.g.Link(id).From]
+		ln := from.line(id)
 		for _, e := range from.table {
 			if !e.valid || e.u == nil {
 				continue
 			}
-			m := from.pending[id]
-			if m == nil {
-				m = make(map[topology.NodeID]*Update)
-				from.pending[id] = m
+			if ln.slots[e.u.Origin] == nil {
+				ln.n++
 			}
-			m[e.u.Origin] = e.u
+			ln.slots[e.u.Origin] = e.u
 		}
 	}
 }
