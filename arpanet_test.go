@@ -7,6 +7,7 @@ import (
 )
 
 func TestLineKinds(t *testing.T) {
+	t.Parallel()
 	if T56.String() != "56T" || S9_6.String() != "9.6S" {
 		t.Error("LineKind names wrong")
 	}
@@ -16,12 +17,14 @@ func TestLineKinds(t *testing.T) {
 }
 
 func TestMetricNames(t *testing.T) {
+	t.Parallel()
 	if HNSPF.String() != "HN-SPF" || DSPF.String() != "D-SPF" || MinHop.String() != "min-hop" {
 		t.Error("Metric names wrong")
 	}
 }
 
 func TestLinkMetricLifecycle(t *testing.T) {
+	t.Parallel()
 	m := NewLinkMetric(T56, 0)
 	if m.Ceiling() != 3*HopCost || m.Floor() != HopCost {
 		t.Errorf("bounds = [%v, %v], want [30, 90]", m.Floor(), m.Ceiling())
@@ -49,6 +52,7 @@ func TestLinkMetricLifecycle(t *testing.T) {
 }
 
 func TestTopologyBuilding(t *testing.T) {
+	t.Parallel()
 	topo := NewTopology()
 	topo.AddNode("A")
 	topo.AddNode("B")
@@ -68,6 +72,7 @@ func TestTopologyBuilding(t *testing.T) {
 }
 
 func TestCannedTopologies(t *testing.T) {
+	t.Parallel()
 	if a := Arpanet1987(); a.NumNodes() != 30 || a.NumTrunks() != 44 {
 		t.Error("Arpanet1987 shape wrong")
 	}
@@ -89,6 +94,7 @@ func TestCannedTopologies(t *testing.T) {
 }
 
 func TestTrafficAPI(t *testing.T) {
+	t.Parallel()
 	topo := Ring(4, T56)
 	tr := topo.UniformTraffic(12000)
 	if math.Abs(tr.TotalBPS()-12000) > 1e-9 {
@@ -119,6 +125,10 @@ func TestTrafficAPI(t *testing.T) {
 }
 
 func TestSimulationEndToEnd(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
 	topo := Ring(5, T56)
 	tr := topo.UniformTraffic(50000)
 	s := NewSimulation(topo, tr, SimConfig{Metric: HNSPF, Seed: 1, WarmupSeconds: 20})
@@ -143,6 +153,10 @@ func TestSimulationEndToEnd(t *testing.T) {
 }
 
 func TestSimulationFailRestore(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
 	topo := Ring(4, T56)
 	tr := topo.UniformTraffic(30000)
 	s := NewSimulation(topo, tr, SimConfig{Metric: HNSPF, Seed: 2, WarmupSeconds: 10})
@@ -155,6 +169,7 @@ func TestSimulationFailRestore(t *testing.T) {
 }
 
 func TestSimulationPanicsOnMismatchedTraffic(t *testing.T) {
+	t.Parallel()
 	a, b := Ring(4, T56), Ring(4, T56)
 	tr := a.UniformTraffic(1000)
 	defer func() {
@@ -166,6 +181,7 @@ func TestSimulationPanicsOnMismatchedTraffic(t *testing.T) {
 }
 
 func TestAnalysisEndToEnd(t *testing.T) {
+	t.Parallel()
 	topo := Arpanet1987()
 	tr := topo.GravityTraffic(ArpanetWeights(), 400000)
 	a := NewAnalysis(topo, tr)
@@ -206,6 +222,7 @@ func TestAnalysisEndToEnd(t *testing.T) {
 }
 
 func TestMetricCurve(t *testing.T) {
+	t.Parallel()
 	// Figure 4: at 90% utilization D-SPF is ~10× idle, HN-SPF ≤ 3.
 	d := MetricCurve(DSPF, T56, 0, 0.9)
 	h := MetricCurve(HNSPF, T56, 0, 0.9)
@@ -224,6 +241,10 @@ func TestMetricCurve(t *testing.T) {
 }
 
 func TestDeterministicSimulation(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
 	run := func() Report {
 		topo := Arpanet1987()
 		tr := topo.GravityTraffic(ArpanetWeights(), 200000)
@@ -237,6 +258,7 @@ func TestDeterministicSimulation(t *testing.T) {
 }
 
 func TestResponseSpreadAPI(t *testing.T) {
+	t.Parallel()
 	topo := Arpanet1987()
 	a := NewAnalysis(topo, topo.GravityTraffic(ArpanetWeights(), 400000))
 	mean, sd, min, max := a.ResponseSpread(2)
@@ -252,6 +274,10 @@ func TestResponseSpreadAPI(t *testing.T) {
 }
 
 func TestBF1969PublicAPI(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
 	if BF1969.String() != "Bellman-Ford 1969" {
 		t.Errorf("name = %q", BF1969.String())
 	}

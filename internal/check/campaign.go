@@ -1,0 +1,123 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a campaign run.
+type Options struct {
+	// Campaigns is how many independent campaigns to run. Campaign i uses
+	// seed Seed+i, so a failing campaign reruns alone with -campaigns 1
+	// -seed <its seed>.
+	Campaigns int
+	// Seed is the base seed.
+	Seed int64
+	// Workers bounds the goroutines; <=0 means GOMAXPROCS. Results are
+	// identical for any worker count.
+	Workers int
+	// Trials per campaign for each pillar; zero values take the defaults
+	// (2 SPF, 2 metric, 2 flood, 1 scenario).
+	SPFTrials, MetricTrials, FloodTrials, ScenarioTrials int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Campaigns <= 0 {
+		o.Campaigns = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.SPFTrials == 0 {
+		o.SPFTrials = 2
+	}
+	if o.MetricTrials == 0 {
+		o.MetricTrials = 2
+	}
+	if o.FloodTrials == 0 {
+		o.FloodTrials = 2
+	}
+	if o.ScenarioTrials == 0 {
+		o.ScenarioTrials = 1
+	}
+	return o
+}
+
+// CampaignResult is one campaign's outcome: its seed, any failures (each
+// with a minimized reproducer), and a deterministic one-line log.
+type CampaignResult struct {
+	Seed     int64
+	Failures []*Failure
+	Log      string
+}
+
+// RunCampaign runs every checker pillar once under a single seed. All
+// randomness flows from one rand source, so the whole campaign replays
+// bit-for-bit from the seed alone.
+func RunCampaign(seed int64, opt Options) CampaignResult {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	var failures []*Failure
+	record := func(f *Failure) {
+		if f != nil {
+			failures = append(failures, f)
+		}
+	}
+	for i := 0; i < opt.SPFTrials; i++ {
+		record(CheckSPF(rng, seed, IncrementalFactory))
+	}
+	for i := 0; i < opt.MetricTrials; i++ {
+		record(CheckMetric(rng, seed))
+	}
+	for i := 0; i < opt.FloodTrials; i++ {
+		record(CheckFlood(rng, seed))
+	}
+	for i := 0; i < opt.ScenarioTrials; i++ {
+		record(CheckScenario(rng, seed))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign seed=%d", seed)
+	if len(failures) == 0 {
+		b.WriteString(" ok")
+	} else {
+		for _, f := range failures {
+			fmt.Fprintf(&b, " FAIL[%s: %s]", f.Check, f.Err)
+		}
+	}
+	return CampaignResult{Seed: seed, Failures: failures, Log: b.String()}
+}
+
+// Run fans opt.Campaigns campaigns over a worker pool. Workers claim
+// campaign indices off an atomic counter and write disjoint result slots,
+// so the returned slice — ordered by campaign index — is identical for any
+// worker count.
+func Run(opt Options) []CampaignResult {
+	opt = opt.withDefaults()
+	results := make([]CampaignResult, opt.Campaigns)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := opt.Workers
+	if workers > opt.Campaigns {
+		workers = opt.Campaigns
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opt.Campaigns {
+					return
+				}
+				results[i] = RunCampaign(opt.Seed+int64(i), opt)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

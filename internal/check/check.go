@@ -1,0 +1,60 @@
+// Package check is the randomized correctness harness of the repository:
+// property-based and differential testing for the routing stack, one rung
+// above the hand-picked scenarios and golden traces.
+//
+// It has three pillars:
+//
+//   - differential oracles (spfcheck.go): on seeded generated topologies
+//     with random weights and failures, the incremental SPF router is
+//     checked after every link-cost change against a fresh from-scratch
+//     Dijkstra and against an independent naive Bellman-Ford reference,
+//     with distance equality and hop-by-hop loop freedom asserted for
+//     every (src, dst) pair;
+//
+//   - paper-invariant checkers (metriccheck.go, floodcheck.go,
+//     scenariocheck.go): every metric implementation stays within its
+//     Floor/Ceiling band and respects the §4.2/§4.3 per-update movement
+//     limits; the reliable flood of the updating protocol delivers every
+//     update to every node under random losses and partitions once the
+//     lines are back; and the packet-conservation ledger, single-
+//     transmitter and convergence audits of internal/scenario hold under
+//     randomized fault scripts;
+//
+//   - shrinking reproducers (shrink.go): when a check fails, the input
+//     that broke it — an update stream, a delay sequence, a flood op list,
+//     a fault script — is minimized by delta debugging and rendered as a
+//     self-contained reproducer (for scenario failures, a committable .scn
+//     script), so a campaign failure becomes a regression test instead of
+//     a seed number in a log.
+//
+// Campaigns (campaign.go) bundle the pillars behind one seed: the same
+// seed always generates the same topologies, inputs and verdicts, so any
+// failure anywhere reproduces from its campaign seed alone. cmd/checker
+// fans campaigns over worker goroutines.
+package check
+
+import "fmt"
+
+// Failure is one invariant violation found by a checker, carrying enough
+// to reproduce it without the harness: the campaign seed, the generated
+// input's description, and a minimized reproducer.
+type Failure struct {
+	// Check names the failed checker: "spf-differential", "metric-invariant",
+	// "flood-delivery" or "scenario-audit".
+	Check string
+	// Seed is the campaign seed that generated the failing input.
+	Seed int64
+	// Topo describes the generated topology, e.g. "random(n=12 deg=2.6 seed=77)".
+	Topo string
+	// Err is the violated property.
+	Err string
+	// Repro is the minimized reproducer: an op list, or for scenario
+	// failures a complete .scn script.
+	Repro string
+}
+
+// String renders the failure for campaign logs.
+func (f *Failure) String() string {
+	return fmt.Sprintf("%s seed=%d topo=%s: %s\nreproducer:\n%s",
+		f.Check, f.Seed, f.Topo, f.Err, f.Repro)
+}

@@ -1,0 +1,159 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/topology"
+	"repro/internal/updating"
+)
+
+// floodOp is one event of a flood-delivery trial.
+type floodOp struct {
+	kind string // "originate", "step", "down", "up", "isolate"
+	node topology.NodeID
+	link topology.LinkID
+}
+
+func (op floodOp) String() string {
+	switch op.kind {
+	case "originate":
+		return fmt.Sprintf("originate %d", op.node)
+	case "isolate":
+		return fmt.Sprintf("isolate %d", op.node)
+	case "step":
+		return "step"
+	default:
+		return fmt.Sprintf("%s %d", op.kind, op.link)
+	}
+}
+
+// CheckFlood runs one flood-delivery trial: on a generated topology with a
+// random per-transmission loss rate up to 50%, a random interleaving of
+// originations, protocol rounds, line failures (including fully isolating a
+// node, which partitions the network) and repairs. After the event script
+// every line is restored and the protocol runs until quiet; the reliable
+// flood must then have delivered every originated update to every node —
+// all nodes are reachable again, so Converged must hold for every origin
+// that generated one.
+//
+// The script is kept short enough (well under updating.MaxAge rounds in
+// total) that entry aging cannot expire a legitimately delivered update and
+// masquerade as a delivery failure.
+func CheckFlood(rng *rand.Rand, seed int64) *Failure {
+	topo := GenTopology(rng, 16)
+	loss := 0.5 * rng.Float64()
+	netSeed := rng.Int63()
+
+	nOps := 8 + rng.Intn(16)
+	ops := make([]floodOp, 0, nOps)
+	steps := 0
+	for len(ops) < nOps {
+		switch rng.Intn(6) {
+		case 0, 1:
+			ops = append(ops, floodOp{kind: "originate", node: topology.NodeID(rng.Intn(topo.G.NumNodes()))})
+		case 2:
+			ops = append(ops, floodOp{kind: "down", link: randTrunkLink(rng, topo.G)})
+		case 3:
+			ops = append(ops, floodOp{kind: "up", link: randTrunkLink(rng, topo.G)})
+		case 4:
+			ops = append(ops, floodOp{kind: "isolate", node: topology.NodeID(rng.Intn(topo.G.NumNodes()))})
+		default:
+			if steps < 8 { // keep the scripted rounds far below MaxAge
+				ops = append(ops, floodOp{kind: "step"})
+				steps++
+			}
+		}
+	}
+
+	if err := runFloodTrace(topo.G, loss, netSeed, ops); err != nil {
+		min := Minimize(ops, func(sub []floodOp) bool {
+			return runFloodTrace(topo.G, loss, netSeed, sub) != nil
+		})
+		finalErr := runFloodTrace(topo.G, loss, netSeed, min)
+		var b strings.Builder
+		fmt.Fprintf(&b, "topo: %s\n", topo.Desc)
+		fmt.Fprintf(&b, "loss: %.4f\nnetseed: %d\n", loss, netSeed)
+		for _, op := range min {
+			b.WriteString(op.String())
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "error: %v\n", finalErr)
+		return &Failure{
+			Check: "flood-delivery",
+			Seed:  seed,
+			Topo:  topo.Desc,
+			Err:   finalErr.Error(),
+			Repro: b.String(),
+		}
+	}
+	return nil
+}
+
+// randTrunkLink picks the forward direction of a random trunk (trunk t owns
+// links 2t and 2t+1); the updating engine takes both directions down or up
+// together.
+func randTrunkLink(rng *rand.Rand, g *topology.Graph) topology.LinkID {
+	return topology.LinkID(2 * rng.Intn(g.NumTrunks()))
+}
+
+// runFloodTrace replays an event script on a fresh protocol engine and
+// verifies delivery. Deterministic for fixed (g, loss, seed, ops), which
+// lets ddmin shrink the script.
+func runFloodTrace(g *topology.Graph, loss float64, seed int64, ops []floodOp) error {
+	nw := updating.New(g, loss, seed)
+	down := make(map[topology.LinkID]bool)
+	var origins []topology.NodeID
+	originated := make(map[topology.NodeID]bool)
+	for _, op := range ops {
+		switch op.kind {
+		case "originate":
+			costs := make([]float64, g.Degree(op.node))
+			for i := range costs {
+				costs[i] = 1
+			}
+			nw.Originate(op.node, costs)
+			if !originated[op.node] {
+				originated[op.node] = true
+				origins = append(origins, op.node)
+			}
+		case "step":
+			nw.Step()
+		case "down":
+			nw.SetLineDown(op.link)
+			down[canonicalLink(g, op.link)] = true
+		case "up":
+			nw.SetLineUp(op.link)
+			delete(down, canonicalLink(g, op.link))
+		case "isolate":
+			for _, lid := range g.Out(op.node) {
+				nw.SetLineDown(lid)
+				down[canonicalLink(g, lid)] = true
+			}
+		}
+	}
+	for l := range down {
+		nw.SetLineUp(l)
+	}
+	rounds, quiet := nw.RunUntilQuiet(100)
+	if !quiet {
+		return fmt.Errorf("flood did not drain within 100 rounds after repairs (%d origins pending)", len(origins))
+	}
+	for _, o := range origins {
+		if !nw.Converged(o) {
+			return fmt.Errorf("update from origin %d not delivered everywhere (drained after %d rounds)", o, rounds)
+		}
+	}
+	return nil
+}
+
+// canonicalLink maps either direction of a trunk to its forward link so the
+// down-set has one entry per trunk.
+func canonicalLink(g *topology.Graph, l topology.LinkID) topology.LinkID {
+	r := g.Link(l).Reverse()
+	if r < l {
+		return r
+	}
+	return l
+}

@@ -1,0 +1,84 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topology"
+)
+
+// Topo is one generated topology plus the spec that rebuilds it.
+type Topo struct {
+	Desc string
+	G    *topology.Graph
+}
+
+// GenTopology draws a topology from the generator mix: seeded random
+// graphs, rings, grids, the two-region network of Figure 1, and — when
+// maxNodes allows — the real ARPANET and MILNET maps. The same rng state
+// always yields the same topology, and Desc names the exact build.
+func GenTopology(rng *rand.Rand, maxNodes int) Topo {
+	if maxNodes < 4 {
+		maxNodes = 4
+	}
+	lts := []topology.LineType{topology.T9_6, topology.T56, topology.S56, topology.T112}
+	for {
+		switch rng.Intn(8) {
+		case 0, 1, 2:
+			n := 4 + rng.Intn(maxNodes-3)
+			deg := 1.5 + 2*rng.Float64()
+			seed := rng.Int63()
+			lt := lts[rng.Intn(len(lts))]
+			return Topo{
+				Desc: fmt.Sprintf("random(n=%d deg=%.2f seed=%d lt=%v)", n, deg, seed, lt),
+				G:    topology.Random(n, deg, seed, lt, topology.T56),
+			}
+		case 3:
+			n := 4 + rng.Intn(maxNodes-3)
+			return Topo{Desc: fmt.Sprintf("ring(n=%d)", n), G: topology.Ring(n, topology.T56)}
+		case 4:
+			w := 2 + rng.Intn(3)
+			h := 2 + rng.Intn(3)
+			if w*h > maxNodes {
+				w, h = 2, 2
+			}
+			return Topo{Desc: fmt.Sprintf("grid(%dx%d)", w, h), G: topology.Grid(w, h, topology.T56)}
+		case 5:
+			n := 2 + rng.Intn(4)
+			if 2*n > maxNodes {
+				n = maxNodes / 2
+			}
+			g, _, _ := topology.TwoRegion(n, topology.T56)
+			return Topo{Desc: fmt.Sprintf("tworegion(n=%d)", n), G: g}
+		case 6:
+			if maxNodes >= 30 { // the July-1987-like map has 30 PSNs
+				return Topo{Desc: "arpanet", G: topology.Arpanet()}
+			}
+		default:
+			if maxNodes >= 26 { // the MILNET map has 26 PSNs
+				return Topo{Desc: "milnet", G: topology.Milnet()}
+			}
+		}
+	}
+}
+
+// GenCost draws one positive link cost. Half the time costs are small
+// integers, which makes equal-cost paths — the tie-breaking cases where
+// incremental-SPF bugs hide — common rather than measure-zero.
+func GenCost(rng *rand.Rand, integer bool) float64 {
+	if integer {
+		return float64(1 + rng.Intn(8))
+	}
+	return 0.1 + 99.9*rng.Float64()
+}
+
+// GenCosts draws a cost per simplex link; integer selects the tie-rich
+// small-integer regime for every link so the caller can keep follow-up
+// cost changes in the same regime.
+func GenCosts(rng *rand.Rand, g *topology.Graph, integer bool) []float64 {
+	costs := make([]float64, g.NumLinks())
+	for i := range costs {
+		costs[i] = GenCost(rng, integer)
+	}
+	return costs
+}

@@ -1,0 +1,144 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/node"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// scenOp is one scripted fault of a scenario-audit trial. Keeping the trial
+// as a flat op list (rather than a built Scenario) is what lets ddmin drop
+// ops and rebuild.
+type scenOp struct {
+	kind   string // "down", "up", "flap", "surge", "checkpoint"
+	at     sim.Time
+	a, b   string // trunk endpoints for down/up/flap
+	period sim.Time
+	cycles int
+	factor float64
+}
+
+// CheckScenario runs one randomized fault-script trial: a small generated
+// topology under light uniform load and a random metric, hit with random
+// trunk outages, repairs, flaps and traffic surges. The packet-conservation
+// ledger, the single-transmitter audit and the convergence check from
+// internal/scenario must hold at every checkpoint. On failure the fault
+// script is minimized and rendered as a self-contained .scn scenario file
+// (with the topology and seed in comment headers) as the reproducer.
+func CheckScenario(rng *rand.Rand, seed int64) *Failure {
+	topo := GenTopology(rng, 12)
+	g := topo.G
+	metric := []node.MetricKind{node.HNSPF, node.DSPF, node.MinHop}[rng.Intn(3)]
+	load := 20_000 + rng.Float64()*60_000
+	cfgSeed := rng.Int63()
+	duration := sim.FromSeconds(60 + 90*rng.Float64())
+
+	nOps := 3 + rng.Intn(6)
+	ops := make([]scenOp, 0, nOps)
+	for len(ops) < nOps {
+		at := sim.Time(rng.Int63n(int64(duration) * 3 / 4))
+		switch rng.Intn(6) {
+		case 0, 1:
+			a, b := randTrunkNames(rng, g)
+			ops = append(ops, scenOp{kind: "down", at: at, a: a, b: b})
+			if rng.Intn(2) == 0 {
+				up := at + sim.FromSeconds(5+20*rng.Float64())
+				if up < duration {
+					ops = append(ops, scenOp{kind: "up", at: up, a: a, b: b})
+				}
+			}
+		case 2:
+			a, b := randTrunkNames(rng, g)
+			ops = append(ops, scenOp{kind: "up", at: at, a: a, b: b})
+		case 3:
+			a, b := randTrunkNames(rng, g)
+			cycles := 1 + rng.Intn(3)
+			period := sim.FromSeconds(2 + 6*rng.Float64())
+			if at+sim.Time(2*cycles+1)*period < duration {
+				ops = append(ops, scenOp{kind: "flap", at: at, a: a, b: b, period: period, cycles: cycles})
+			}
+		case 4:
+			ops = append(ops, scenOp{kind: "surge", at: at, factor: 0.5 + 1.5*rng.Float64()})
+		default:
+			ops = append(ops, scenOp{kind: "checkpoint", at: at})
+		}
+	}
+
+	cfg := scenario.Config{
+		Graph:           g,
+		Matrix:          traffic.Uniform(g, load),
+		Metric:          metric,
+		Seed:            cfgSeed,
+		Warmup:          15 * sim.Second,
+		StopOnViolation: true,
+	}
+	if err := runScenOps(cfg, duration, ops); err != nil {
+		min := Minimize(ops, func(sub []scenOp) bool {
+			return runScenOps(cfg, duration, sub) != nil
+		})
+		finalErr := runScenOps(cfg, duration, min)
+		script, scErr := buildScenario(duration, min).Script()
+		if scErr != nil {
+			script = fmt.Sprintf("# unserializable: %v\n", scErr)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "# topo: %s\n# metric: %v\n# load: %.0f bps uniform\n# cfgseed: %d\n",
+			topo.Desc, metric, load, cfgSeed)
+		b.WriteString(script)
+		fmt.Fprintf(&b, "# error: %v\n", finalErr)
+		return &Failure{
+			Check: "scenario-audit",
+			Seed:  seed,
+			Topo:  topo.Desc,
+			Err:   finalErr.Error(),
+			Repro: b.String(),
+		}
+	}
+	return nil
+}
+
+func randTrunkNames(rng *rand.Rand, g *topology.Graph) (string, string) {
+	l := g.Link(topology.LinkID(2 * rng.Intn(g.NumTrunks())))
+	return g.Node(l.From).Name, g.Node(l.To).Name
+}
+
+func buildScenario(duration sim.Time, ops []scenOp) *scenario.Scenario {
+	sc := scenario.NewScenario("check", duration)
+	sc.CheckEvery = 10 * sim.Second
+	for _, op := range ops {
+		switch op.kind {
+		case "down":
+			sc.DownAt(op.at, op.a, op.b)
+		case "up":
+			sc.UpAt(op.at, op.a, op.b)
+		case "flap":
+			sc.FlapAt(op.at, op.a, op.b, op.period, op.cycles)
+		case "surge":
+			sc.SurgeAt(op.at, op.factor)
+		case "checkpoint":
+			sc.CheckpointAt(op.at)
+		}
+	}
+	return sc
+}
+
+// runScenOps builds and runs one scenario and reports the first audit
+// violation (or run error) as an error; nil means every checkpoint's
+// conservation, transmitter and convergence audit passed.
+func runScenOps(cfg scenario.Config, duration sim.Time, ops []scenOp) error {
+	res, err := scenario.Run(cfg, buildScenario(duration, ops))
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	if len(res.Violations) > 0 {
+		v := res.Violations[0]
+		return fmt.Errorf("%s violation at %v: %s", v.Check, v.At, v.Err)
+	}
+	return nil
+}

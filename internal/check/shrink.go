@@ -1,0 +1,47 @@
+package check
+
+// Minimize shrinks a failing input sequence by delta debugging (ddmin):
+// repeatedly try dropping chunks — halves first, then finer — keeping any
+// removal after which fails still reports true. The result is 1-minimal in
+// the limit (no single remaining element can be removed), which turns a
+// 60-op campaign failure into the two or three ops that matter.
+//
+// fails must be deterministic and must report true for ops itself; it is
+// called O(len²) times in the worst case, so checkers replay, not
+// re-simulate the world, inside it.
+func Minimize[T any](ops []T, fails func([]T) bool) []T {
+	cur := append([]T(nil), ops...)
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		removedAny := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			trial := make([]T, 0, len(cur)-(end-start))
+			trial = append(trial, cur[:start]...)
+			trial = append(trial, cur[end:]...)
+			if len(trial) > 0 && fails(trial) {
+				cur = trial
+				removedAny = true
+				break
+			}
+		}
+		switch {
+		case removedAny:
+			if n > 2 {
+				n--
+			}
+		case chunk == 1:
+			return cur
+		default:
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur
+}

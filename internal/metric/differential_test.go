@@ -1,0 +1,145 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/queueing"
+	"repro/internal/topology"
+)
+
+// dspfReference is a brute-force model of the §2.2 hysteresis written
+// directly from the spec's description rather than the DSPF struct: the
+// cost is the clamped delay in units; the first period always reports;
+// after that, a period reports iff the delay moved by at least the current
+// significance threshold, and the threshold walks down the fixed schedule
+// 64, 51.2, 38.4, 25.6, 12.8 ms — one step per silent period — so the
+// fifth period after a report is always forced. It carries no decaying
+// state between calls: everything is recomputed from (lastReported,
+// silentPeriods).
+type dspfReference struct {
+	bias, ceiling, prop float64
+	last                float64
+	silent              int
+	started             bool
+}
+
+// thresholdSchedule holds the §2.2 thresholds in seconds, indexed by the
+// number of consecutive silent periods since the last report. It is built
+// by the same repeated subtraction the schedule describes so boundary
+// comparisons agree bit-for-bit.
+var thresholdSchedule = func() [5]float64 {
+	var t [5]float64
+	v := 0.064
+	for i := range t {
+		t[i] = v
+		v -= 0.0128
+	}
+	return t
+}()
+
+func newDSPFReference(lt topology.LineType, prop float64) *dspfReference {
+	s := queueing.ServiceTime(lt.Bandwidth())
+	r := &dspfReference{
+		bias:    (s + prop) / DSPFUnit,
+		ceiling: (queueing.MM1Delay(s, DSPFCeilingRho) + prop) / DSPFUnit,
+		prop:    prop,
+	}
+	r.last = r.bias
+	return r
+}
+
+func (r *dspfReference) update(measured float64) (float64, bool) {
+	c := (measured + r.prop) / DSPFUnit
+	c = math.Min(math.Max(c, r.bias), r.ceiling)
+	switch {
+	case !r.started:
+		r.started = true
+	case r.silent >= 4:
+		// fifth period since the last report: forced
+	case math.Abs(c-r.last)*DSPFUnit >= thresholdSchedule[r.silent]:
+		// significant
+	default:
+		r.silent++
+		return r.last, false
+	}
+	r.last = c
+	r.silent = 0
+	return c, true
+}
+
+// rampDelays sweeps utilization 0 → peak → 0 through the M/M/1 delay
+// curve in steps small enough that consecutive costs often fall under the
+// significance threshold — the regime where the hysteresis state machine
+// actually branches.
+func rampDelays(lt topology.LineType, peak float64, steps int) []float64 {
+	s := queueing.ServiceTime(lt.Bandwidth())
+	var out []float64
+	for i := 0; i <= steps; i++ {
+		out = append(out, queueing.MM1Delay(s, peak*float64(i)/float64(steps)))
+	}
+	for i := steps; i >= 0; i-- {
+		out = append(out, queueing.MM1Delay(s, peak*float64(i)/float64(steps)))
+	}
+	return out
+}
+
+// TestDSPFDifferential pins DSPF.Update against the independent reference
+// over swept ramps of every steepness, flat plateaus (which exercise the
+// forced-update path) and random jitter, on several line types and
+// propagation delays.
+func TestDSPFDifferential(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		lt   topology.LineType
+		prop float64
+	}{
+		{topology.T9_6, 0.010},
+		{topology.T56, 0},
+		{topology.T56, 0.020},
+		{topology.S56, 0.110},
+		{topology.T112, 0.005},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range cases {
+		s := queueing.ServiceTime(tc.lt.Bandwidth())
+		var delays []float64
+		for _, peak := range []float64{0.2, 0.5, 0.8, 0.98} {
+			for _, steps := range []int{3, 10, 40} {
+				delays = append(delays, rampDelays(tc.lt, peak, steps)...)
+			}
+		}
+		for i := 0; i < 20; i++ { // idle plateau: forces the 50 s updates
+			delays = append(delays, s)
+		}
+		for i := 0; i < 200; i++ { // jitter around mid-load
+			delays = append(delays, queueing.MM1Delay(s, 0.4+0.2*rng.Float64()))
+		}
+
+		d := NewDSPF(tc.lt, tc.prop)
+		ref := newDSPFReference(tc.lt, tc.prop)
+		if d.Floor() != ref.bias || d.Ceiling() != ref.ceiling {
+			t.Fatalf("%v prop=%v: bounds differ: [%v,%v] vs [%v,%v]",
+				tc.lt, tc.prop, d.Floor(), d.Ceiling(), ref.bias, ref.ceiling)
+		}
+		sinceReport := 0
+		for i, delay := range delays {
+			cost, report := d.Update(delay)
+			wantCost, wantReport := ref.update(delay)
+			if cost != wantCost || report != wantReport {
+				t.Fatalf("%v prop=%v step %d (delay=%v): Update = (%v, %v), reference says (%v, %v)",
+					tc.lt, tc.prop, i, delay, cost, report, wantCost, wantReport)
+			}
+			if report {
+				sinceReport = 0
+			} else {
+				sinceReport++
+				if sinceReport > 4 {
+					t.Fatalf("%v prop=%v step %d: %d periods without a forced update",
+						tc.lt, tc.prop, i, sinceReport)
+				}
+			}
+		}
+	}
+}

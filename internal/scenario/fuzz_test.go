@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioParse pins three properties of the script parser over
+// arbitrary input:
+//
+//  1. it never panics;
+//  2. every rejection is line-anchored (or the one whole-script
+//     missing-duration error);
+//  3. every accepted script re-serializes via Script and re-parses to the
+//     identical scenario — Parse and Script are exact inverses on the
+//     parser's image, which is what lets the correctness harness commit any
+//     generated scenario as a reproducer.
+func FuzzScenarioParse(f *testing.F) {
+	f.Add("name smoke\nduration 60\ncheck-every 10\nat 5 down A B\nat 25 up A B\n")
+	f.Add("duration 600\nat 100 flap SRI WISC period 4 cycles 3\nat 150 restart LBL for 30\n")
+	f.Add("# comment only\nname c\nduration 0.5\nat 0.25 surge 1.5\nat 0.5 checkpoint\n")
+	f.Add("duration 60\nat 70 checkpoint\n")
+	f.Add("at NaN surge -1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		sc, err := Parse(strings.NewReader(src))
+		if err != nil {
+			if !strings.Contains(err.Error(), "line ") &&
+				!strings.Contains(err.Error(), "no 'duration' directive") {
+				t.Fatalf("error not line-anchored: %v", err)
+			}
+			return
+		}
+		rendered, err := sc.Script()
+		if err != nil {
+			t.Fatalf("accepted scenario failed to serialize: %v\ninput: %q", err, src)
+		}
+		sc2, err := Parse(strings.NewReader(rendered))
+		if err != nil {
+			t.Fatalf("rendered script failed to re-parse: %v\nrendered:\n%s\ninput: %q", err, rendered, src)
+		}
+		if !reflect.DeepEqual(sc, sc2) {
+			t.Fatalf("round trip changed the scenario\nbefore %+v\nafter  %+v\nrendered:\n%s", sc, sc2, rendered)
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -29,11 +30,14 @@ import (
 	"repro/internal/sim"
 )
 
-// Parse reads a scenario script. Errors carry the 1-based line number.
+// Parse reads a scenario script. Errors are line-anchored: every error a
+// specific line caused carries its 1-based line number; only the
+// whole-script "no 'duration' directive" error has no line to point at.
 func Parse(r io.Reader) (*Scenario, error) {
 	sc := &Scenario{Name: "scenario"}
 	scan := bufio.NewScanner(r)
 	lineNo := 0
+	var evLines []int // 1-based source line of each appended event
 	for scan.Scan() {
 		lineNo++
 		line := scan.Text()
@@ -47,12 +51,24 @@ func Parse(r io.Reader) (*Scenario, error) {
 		if err := parseLine(sc, fields); err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
+		for len(evLines) < len(sc.Events) {
+			evLines = append(evLines, lineNo)
+		}
 	}
 	if err := scan.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
 	}
 	if sc.Duration <= 0 {
 		return nil, fmt.Errorf("script has no 'duration' directive")
+	}
+	// Range-check events here rather than via Validate so the error can name
+	// the line that scheduled the offending event (flap/restart lines expand
+	// to several events; they anchor to the expanding line).
+	for i, ev := range sc.Events {
+		if ev.At < 0 || ev.At > sc.Duration {
+			return nil, fmt.Errorf("line %d: %s event at %v outside [0, %v]",
+				evLines[i], ev.Kind, ev.At, sc.Duration)
+		}
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -132,7 +148,9 @@ func parseAction(sc *Scenario, at sim.Time, action string, args []string) error 
 			return fmt.Errorf("bad flap period %q", args[3])
 		}
 		cycles, err := strconv.Atoi(args[5])
-		if err != nil || cycles < 1 {
+		// The cycle cap keeps at + cycles×period safely inside sim.Time even
+		// at the maximum script time.
+		if err != nil || cycles < 1 || cycles > 10000 {
 			return fmt.Errorf("bad flap cycle count %q", args[5])
 		}
 		sc.FlapAt(at, args[0], args[1], period, cycles)
@@ -153,7 +171,7 @@ func parseAction(sc *Scenario, at sim.Time, action string, args []string) error 
 			return fmt.Errorf("want 'surge FACTOR'")
 		}
 		f, err := strconv.ParseFloat(args[0], 64)
-		if err != nil || f <= 0 {
+		if err != nil || !(f > 0) || math.IsInf(f, 1) {
 			return fmt.Errorf("bad surge factor %q", args[0])
 		}
 		sc.SurgeAt(at, f)
@@ -180,13 +198,22 @@ func parseSeconds(fields []string, arg int, directive string) (sim.Time, error) 
 	return d, nil
 }
 
+// maxScriptSeconds bounds every script time: ~3 simulated years. Large
+// enough for any scenario, small enough that no arithmetic the parser's
+// callers do on event times (flap expansion, restart ends) can overflow
+// sim.Time's microsecond int64.
+const maxScriptSeconds = 1e8
+
 func seconds(s string) (sim.Time, error) {
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, err
 	}
-	if v < 0 {
-		return 0, fmt.Errorf("negative time %q", s)
+	if math.IsNaN(v) || v < 0 {
+		return 0, fmt.Errorf("negative or NaN time %q", s)
+	}
+	if v > maxScriptSeconds {
+		return 0, fmt.Errorf("time %q exceeds %g seconds", s, float64(maxScriptSeconds))
 	}
 	return sim.FromSeconds(v), nil
 }

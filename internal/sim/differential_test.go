@@ -29,8 +29,8 @@ func (h refHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *refHeap) Push(x any)        { *h = append(*h, x.(*refItem)) }
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refItem)) }
 func (h *refHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -66,6 +66,108 @@ func (k *refKernel) step() (int, bool) {
 		return it.id, true
 	}
 	return 0, false
+}
+
+// TestDifferentialCancelRescheduleTorture is the long-haul version: ~10k
+// operations per seed with absolute-time scheduling, cancel-then-reschedule
+// bursts (which stress slot reuse and generation tags), double-cancels and
+// liveness probes of Handle.Pending against the reference's book-keeping.
+func TestDifferentialCancelRescheduleTorture(t *testing.T) {
+	t.Parallel()
+	seeds := int64(5)
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(100); seed < 100+seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := New()
+		ref := &refKernel{}
+
+		var fired, refFired []int
+		var handles []Handle
+		var refHandles []*refItem
+		done := []bool{} // by id: fired in the reference
+		newEvent := func(delay Time) {
+			id := len(done)
+			done = append(done, false)
+			handles = append(handles, k.Schedule(delay, func(Time) { fired = append(fired, id) }))
+			refHandles = append(refHandles, ref.schedule(delay, id))
+		}
+		refStep := func() {
+			if id, ok := ref.step(); ok {
+				refFired = append(refFired, id)
+				done[id] = true
+			}
+		}
+
+		for op := 0; op < 10000; op++ {
+			switch r := rng.Float64(); {
+			case r < 0.30:
+				newEvent(Time(rng.Intn(40)) * Millisecond)
+			case r < 0.45:
+				// Absolute-time scheduling, including at == Now() (fires
+				// this instant, after already-queued same-time events).
+				at := k.Now() + Time(rng.Intn(40))*Millisecond
+				id := len(done)
+				done = append(done, false)
+				h, err := k.ScheduleAt(at, func(Time) { fired = append(fired, id) })
+				if err != nil {
+					t.Fatalf("seed %d: ScheduleAt(%v) at now=%v: %v", seed, at, k.Now(), err)
+				}
+				handles = append(handles, h)
+				refHandles = append(refHandles, ref.schedule(at-ref.now, id))
+			case r < 0.60 && len(handles) > 0:
+				// Cancel a random event, then immediately reschedule a new
+				// one — the pattern that recycles pool slots hardest. Half
+				// the time cancel the same handle again: the second Cancel
+				// must report false whenever the first reported true.
+				i := rng.Intn(len(handles))
+				first := handles[i].Cancel()
+				refHandles[i].stopped = true
+				if first && rng.Intn(2) == 0 {
+					if handles[i].Cancel() {
+						t.Fatalf("seed %d: double Cancel of event %d reported true", seed, i)
+					}
+				}
+				newEvent(Time(rng.Intn(40)) * Millisecond)
+			case r < 0.65 && len(handles) > 0:
+				// Liveness probe: a handle is pending iff the reference has
+				// neither cancelled nor fired it.
+				i := rng.Intn(len(handles))
+				want := !refHandles[i].stopped && !done[refHandles[i].id]
+				if got := handles[i].Pending(); got != want {
+					t.Fatalf("seed %d: handle %d Pending() = %v, reference says %v", seed, i, got, want)
+				}
+			default:
+				k.Step()
+				refStep()
+			}
+		}
+		for k.Step() {
+		}
+		for len(ref.queue) > 0 {
+			refStep()
+		}
+
+		if len(fired) != len(refFired) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(fired), len(refFired))
+		}
+		for i := range fired {
+			if fired[i] != refFired[i] {
+				t.Fatalf("seed %d: fire order diverged at %d: got event %d, reference %d",
+					seed, i, fired[i], refFired[i])
+			}
+		}
+		if k.now != ref.now {
+			t.Fatalf("seed %d: clock %v, reference %v", seed, k.now, ref.now)
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("seed %d: %d events pending after drain", seed, k.Pending())
+		}
+		if k.Fired() != uint64(len(fired)) {
+			t.Fatalf("seed %d: Fired() = %d, %d callbacks ran", seed, k.Fired(), len(fired))
+		}
+	}
 }
 
 func TestDifferentialFireOrder(t *testing.T) {

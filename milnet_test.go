@@ -18,6 +18,7 @@ func milnetRun(t *testing.T, m Metric, bps float64) Report {
 }
 
 func TestMilnetTopologyAPI(t *testing.T) {
+	t.Parallel()
 	topo := Milnet1987()
 	if topo.NumNodes() != 26 || topo.NumTrunks() != 36 {
 		t.Errorf("Milnet1987 shape = %d nodes, %d trunks", topo.NumNodes(), topo.NumTrunks())
@@ -28,6 +29,7 @@ func TestMilnetTopologyAPI(t *testing.T) {
 }
 
 func TestMilnetBeforeAfter(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation test")
 	}
@@ -58,6 +60,7 @@ func TestMilnetBeforeAfter(t *testing.T) {
 }
 
 func TestMilnetLoadSpreading(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation test")
 	}

@@ -25,6 +25,7 @@ func largeFlowRun(t *testing.T, multipath bool, seed int64) Report {
 }
 
 func TestMultipathSplitsLargeFlow(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation test")
 	}
@@ -68,6 +69,7 @@ func TestMultipathSplitsLargeFlow(t *testing.T) {
 }
 
 func TestMultipathHarmlessOnTreePaths(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation test")
 	}
@@ -96,6 +98,7 @@ func TestMultipathHarmlessOnTreePaths(t *testing.T) {
 }
 
 func TestMultipathWorksWithAllMetrics(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation test")
 	}
