@@ -159,6 +159,7 @@ func printDelta(w io.Writer, path string, snap *Snapshot) {
 		if p.NsPerOp > 0 && r.NsPerOp > 0 {
 			parts = append(parts, "ns/op "+deltaStr(p.NsPerOp, r.NsPerOp))
 		}
+		// lint:ignore floatexact allocs/op is an exact integer counter reported through a float64 field
 		if p.AllocsPerOp != r.AllocsPerOp {
 			parts = append(parts, fmt.Sprintf("allocs/op %.0f\u2192%.0f", p.AllocsPerOp, r.AllocsPerOp))
 		}

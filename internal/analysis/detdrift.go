@@ -1,0 +1,373 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPackages lists the import-path suffixes of packages whose
+// behaviour must be a pure function of their inputs and seeds: the event
+// kernel, both routers, the flooding and updating protocols, the network
+// model, the scenario engine, and the randomized-but-seeded correctness
+// harness. Golden traces, RunBatch worker-count independence and the
+// differential oracles all assume it. A package outside this list can opt
+// in with a "// lint:deterministic" comment in any of its files.
+var DeterministicPackages = []string{
+	"internal/sim",
+	"internal/spf",
+	"internal/updating",
+	"internal/flooding",
+	"internal/network",
+	"internal/scenario",
+	"internal/check",
+}
+
+// DetDrift reports sources of nondeterminism inside deterministic
+// packages: wall-clock reads, the global math/rand stream, and map
+// iteration whose order can leak into ordered output or event scheduling.
+// Test files are exempt (the loader does not even load them).
+type DetDrift struct{}
+
+// Name implements Rule.
+func (*DetDrift) Name() string { return "detdrift" }
+
+// Doc implements Rule.
+func (*DetDrift) Doc() string {
+	return "no wall clock, global math/rand, or order-leaking map iteration in deterministic packages"
+}
+
+// wallClockFuncs are the package time functions that read or depend on
+// the machine clock. Duration constants and arithmetic are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// randConstructors are the math/rand package-level names that only build
+// seeded generators and are therefore deterministic to use.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// Check implements Rule.
+func (d *DetDrift) Check(pass *Pass) {
+	if !d.applies(pass.Pkg) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		f := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				d.checkSelector(pass, n)
+			case *ast.RangeStmt:
+				d.checkMapRange(pass, n, f)
+			}
+			return true
+		})
+	}
+}
+
+func (d *DetDrift) applies(pkg *Package) bool {
+	for _, suffix := range DeterministicPackages {
+		if strings.HasSuffix(pkg.Path, suffix) {
+			return true
+		}
+	}
+	return pkg.hasDirective("lint:deterministic")
+}
+
+// checkSelector flags time.<wallclock> and global math/rand references.
+func (d *DetDrift) checkSelector(pass *Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			pass.Report(sel.Pos(),
+				"wall-clock time."+sel.Sel.Name+" in deterministic package",
+				"derive all times from sim.Kernel.Now or pass them in as data")
+		}
+	case "math/rand", "math/rand/v2":
+		if randConstructors[sel.Sel.Name] {
+			return
+		}
+		if obj := pass.Pkg.Info.Uses[sel.Sel]; obj != nil {
+			if _, isType := obj.(*types.TypeName); isType {
+				return // rand.Rand, rand.Source etc. in declarations
+			}
+		}
+		pass.Report(sel.Pos(),
+			"global math/rand."+sel.Sel.Name+" draws from the shared process-wide stream",
+			"use a seeded *rand.Rand (e.g. a sim.Source stream) owned by the caller")
+	}
+}
+
+// orderedSinkNames are callee names that make iteration order observable:
+// the event queue (FIFO tie-break by schedule order), FIFO queues, and
+// formatted output.
+var orderedSinkNames = map[string]bool{
+	"Schedule": true, "ScheduleAt": true, "ScheduleCall": true,
+	"ScheduleCallAt": true, "Every": true,
+	"Push": true, "Enqueue": true, "PushBack": true, "PushFront": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// checkMapRange flags `for ... := range m` over a map when the body feeds
+// an ordered sink: appends to a slice declared outside the loop, schedules
+// events, pushes queues, sends on channels, writes formatted output, or
+// accumulates floating point declared outside the loop (float addition is
+// not associative, so even a "commutative" sum drifts with map order).
+// A loop that only fills another map, counts integers, or takes a min/max
+// is order-insensitive and passes.
+func (d *DetDrift) checkMapRange(pass *Pass, rng *ast.RangeStmt, f *ast.File) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	sink := d.findOrderedSink(pass, rng)
+	if sink == "" {
+		return
+	}
+	// The canonical fix — collect the keys, sort, iterate the slice — must
+	// not itself be a finding: an append whose target is sorted later in
+	// the same function is order-insensitive by construction.
+	if id := d.appendOnlySink(pass, rng); id != nil && sortedAfter(pass, f, id, rng.End()) {
+		return
+	}
+	pass.Report(rng.Pos(),
+		"iteration over map "+exprString(rng.X)+" feeds "+sink+"; map order is randomized per run",
+		"collect and sort the keys first, or suppress with a reason if the sink is provably order-insensitive")
+}
+
+func (d *DetDrift) findOrderedSink(pass *Pass, rng *ast.RangeStmt) string {
+	var sink string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink = "a channel send"
+		case *ast.CallExpr:
+			name := calleeName(n)
+			switch {
+			case name == "append":
+				if id := appendTarget(n); id != nil && declaredOutside(pass, id, rng) {
+					sink = "append to " + id.Name + " declared outside the loop"
+				}
+			case orderedSinkNames[name]:
+				sink = "a call to " + name
+			case d.callPassesRangeVar(pass, n, rng):
+				// Feeding the iteration variable into any non-builtin call
+				// hands map order to code that may schedule, queue, or
+				// accumulate. Order-insensitive callees (idempotent
+				// per-element mutation) are suppressed with a reason.
+				sink = "a call to " + name + " with the iteration variable"
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && isFloat(pass.TypeOf(id)) && declaredOutside(pass, id, rng) {
+					sink = "a floating-point accumulation into " + id.Name
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// appendOnlySink returns the single append target when the loop body's
+// only ordered effect is appending to it (the collect-keys pattern).
+func (d *DetDrift) appendOnlySink(pass *Pass, rng *ast.RangeStmt) *ast.Ident {
+	var target *ast.Ident
+	only := true
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			only = false
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if name == "append" {
+				id := appendTarget(n)
+				if id == nil || (target != nil && pass.ObjectOf(id) != pass.ObjectOf(target)) {
+					only = false
+				} else {
+					target = id
+				}
+				return true
+			}
+			if orderedSinkNames[name] || d.callPassesRangeVar(pass, n, rng) {
+				only = false
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && isFloat(pass.TypeOf(id)) && declaredOutside(pass, id, rng) {
+					only = false
+				}
+			}
+		}
+		return only
+	})
+	if !only {
+		return nil
+	}
+	return target
+}
+
+// sortedAfter reports whether the slice variable is passed to a
+// sort/slices sorting function after pos. Object identity ties the match
+// to the same function-scoped variable.
+func sortedAfter(pass *Pass, f *ast.File, slice *ast.Ident, pos token.Pos) bool {
+	obj := pass.ObjectOf(slice)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.Pkg.Info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if !strings.Contains(strings.ToLower(sel.Sel.Name), "sort") &&
+			!strings.HasPrefix(sel.Sel.Name, "Slice") &&
+			sel.Sel.Name != "Strings" && sel.Sel.Name != "Ints" && sel.Sel.Name != "Float64s" {
+			return true
+		}
+		ast.Inspect(call.Args[0], func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+		return true
+	})
+	return found
+}
+
+// callPassesRangeVar reports whether the call's arguments mention one of
+// the range statement's iteration variables and the callee is a real
+// function or method (builtins like delete and len are order-safe).
+func (d *DetDrift) callPassesRangeVar(pass *Pass, call *ast.CallExpr, rng *ast.RangeStmt) bool {
+	vars := map[*types.Var]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if v, ok := pass.ObjectOf(id).(*types.Var); ok {
+				vars[v] = true
+			}
+		}
+	}
+	if len(vars) == 0 {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if _, isBuiltin := pass.Pkg.Info.Uses[fn].(*types.Builtin); isBuiltin {
+			return false
+		}
+	case *ast.SelectorExpr:
+		// methods and imported functions are never builtins
+	default:
+		return false
+	}
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok && vars[v] {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName extracts the simple name of a call's function.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// appendTarget returns the identifier being appended to, if plain.
+func appendTarget(call *ast.CallExpr) *ast.Ident {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id, _ := call.Args[0].(*ast.Ident)
+	return id
+}
+
+// declaredOutside reports whether id's declaration precedes the range
+// statement (so mutations inside the loop survive it).
+func declaredOutside(pass *Pass, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprString renders a short expression for a message.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	}
+	return "expression"
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FloatExactExemptPackages hold the approved comparison helpers: the
+// metric modules quantize costs to integral units, so equality there is
+// exact by construction, and the equilibrium solver owns the tolerance
+// logic for its fixed-point iteration.
+var FloatExactExemptPackages = []string{
+	"internal/metric",
+	"internal/equilibrium",
+}
+
+// FloatExact reports direct == / != between floating-point values (and
+// float switch cases) outside the approved helper packages. Metric and
+// cost arithmetic mixes measured delays, M/M/1 terms and quantized units;
+// an exact comparison that happens to hold on one platform's FMA contracts
+// is a silent portability and determinism hazard. Sites where equality is
+// genuinely exact (a value compared against the constant it was assigned)
+// carry a lint:ignore with the reason.
+type FloatExact struct{}
+
+// Name implements Rule.
+func (*FloatExact) Name() string { return "floatexact" }
+
+// Doc implements Rule.
+func (*FloatExact) Doc() string {
+	return "no direct ==/!= on float64 metric/cost values outside internal/metric and internal/equilibrium"
+}
+
+// Check implements Rule.
+func (fe *FloatExact) Check(pass *Pass) {
+	for _, suffix := range FloatExactExemptPackages {
+		if strings.HasSuffix(pass.Pkg.Path, suffix) {
+			return
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if fe.bothFloat(pass, n.X, n.Y) {
+					pass.Report(n.Pos(),
+						"exact floating-point "+n.Op.String()+" on "+exprString(n.X)+" and "+exprString(n.Y),
+						"compare with a tolerance (math.Abs(a-b) <= eps), use the helpers in internal/metric, "+
+							"or suppress with a reason when both sides are quantized")
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isFloat(pass.TypeOf(n.Tag)) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok || len(cc.List) == 0 {
+						continue
+					}
+					pass.Report(cc.Pos(),
+						"switch case compares float "+exprString(n.Tag)+" exactly",
+						"rewrite as an if/else chain with tolerances")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// bothFloat requires both operands to be floating point and both to be
+// non-constant. Comparing against a compile-time constant (den == 0
+// division guards, sentinel values like DownCost) is exact by
+// construction: the variable either holds exactly that constant or it
+// does not. The hazard is computed-vs-computed equality, where two
+// different roundings of "the same" quantity disagree.
+func (fe *FloatExact) bothFloat(pass *Pass, x, y ast.Expr) bool {
+	if !isFloat(pass.TypeOf(x)) || !isFloat(pass.TypeOf(y)) {
+		return false
+	}
+	if pass.Pkg.Info.Types[x].Value != nil || pass.Pkg.Info.Types[y].Value != nil {
+		return false
+	}
+	// NaN probes (x != x) are the portable idiom for IsNaN and stay legal.
+	if xi, ok := x.(*ast.Ident); ok {
+		if yi, ok := y.(*ast.Ident); ok && xi.Name == yi.Name {
+			if xo, yo := pass.ObjectOf(xi), pass.ObjectOf(yi); xo != nil && xo == yo {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed "// lint:ignore rule[,rule] reason" directive.
+type suppression struct {
+	rules  []string
+	reason string
+	line   int
+}
+
+func (s *suppression) covers(rule string) bool {
+	for _, r := range s.rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// parseSuppressions builds the per-file line -> directive index on first
+// use. A directive covers findings on its own line (trailing comment) and
+// on the line directly below (comment on its own line above the code).
+func (p *Package) parseSuppressions() {
+	if p.suppressions != nil {
+		return
+	}
+	p.suppressions = map[string]map[int]*suppression{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := ignoreDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				s := &suppression{line: pos.Line}
+				fields := strings.Fields(text)
+				if len(fields) > 0 {
+					for _, r := range strings.Split(fields[0], ",") {
+						if r = strings.TrimSpace(r); r != "" {
+							s.rules = append(s.rules, r)
+						}
+					}
+					s.reason = strings.TrimSpace(strings.TrimPrefix(text, fields[0]))
+				}
+				byLine := p.suppressions[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]*suppression{}
+					p.suppressions[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = s
+			}
+		}
+	}
+}
+
+// ignoreDirective extracts the payload of a lint:ignore comment.
+func ignoreDirective(comment string) (string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	if rest, ok := strings.CutPrefix(text, "lint:ignore"); ok {
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// suppressed reports whether a diagnostic at (filename, line) for rule is
+// covered by a well-formed directive.
+func (p *Package) suppressed(rule, filename string, line int) bool {
+	p.parseSuppressions()
+	for _, l := range []int{line, line - 1} {
+		if s := p.suppressions[filename][l]; s != nil && s.reason != "" && s.covers(rule) {
+			return true
+		}
+	}
+	return false
+}
+
+// badSuppressions reports malformed directives: a lint:ignore without a
+// rule list or without a reason suppresses nothing, silently — which is
+// worse than no directive at all, so it is itself a finding.
+func (p *Package) badSuppressions() []Diagnostic {
+	p.parseSuppressions()
+	var out []Diagnostic
+	for filename, byLine := range p.suppressions {
+		for _, s := range byLine {
+			if len(s.rules) > 0 && s.reason != "" {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Rule: "lint",
+				Pos:  token.Position{Filename: filename, Line: s.line, Column: 1},
+				File: p.relPath(filename),
+				Line: s.line,
+				Col:  1,
+				Message: "malformed lint:ignore: need \"lint:ignore <rule>[,<rule>] <reason>\" " +
+					"— a directive without a reason does not suppress",
+				Package:  p.Path,
+				Severity: "error",
+			})
+		}
+	}
+	return out
+}
+
+// filterSuppressed drops diagnostics covered by a well-formed lint:ignore
+// directive on the flagged line or the line above it.
+func filterSuppressed(diags []Diagnostic, pkgs []*Package) []Diagnostic {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if p := byPath[d.Package]; p != nil && p.suppressed(d.Rule, d.Pos.Filename, d.Pos.Line) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// hasDirective reports whether any file of the package carries the given
+// package-level lint directive (e.g. "lint:deterministic", the opt-in used
+// by fixture packages outside the canonical deterministic set).
+func (p *Package) hasDirective(name string) bool {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

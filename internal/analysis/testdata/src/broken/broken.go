@@ -1,0 +1,7 @@
+// Package broken fails to type-check: the driver must report the error
+// and keep going, never panic on half-built type information.
+package broken
+
+func bad() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,6 @@
+// Package buildtag is a linter fixture: its sibling file is excluded by
+// a build constraint and must not be loaded, let alone reported.
+package buildtag
+
+// Clean is free of findings.
+func Clean(a, b int) bool { return a == b }

@@ -1,0 +1,6 @@
+//go:build lintfixture_excluded
+
+package buildtag
+
+// Violation would be a floatexact finding if this file were loaded.
+func Violation(a, b float64) bool { return a == b }

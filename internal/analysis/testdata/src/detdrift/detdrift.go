@@ -1,0 +1,100 @@
+// Package detdrift is a linter fixture: every marked line must produce
+// exactly the finding in its trailing want comment, and nothing else.
+// The package opts into the deterministic set with the directive below.
+//
+// lint:deterministic
+package detdrift
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// step shows duration constants and arithmetic stay legal.
+const step = 10 * time.Millisecond
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want detdrift "wall-clock time.Now"
+}
+
+func sinceStart(t0 time.Time) time.Duration {
+	return time.Since(t0) // want detdrift "wall-clock time.Since"
+}
+
+func globalStream() int {
+	return rand.Intn(6) // want detdrift "global math/rand.Intn"
+}
+
+// seeded builds a private generator, which is deterministic to use.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func mapToOrderedSlice(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want detdrift "append to out declared outside the loop"
+		out = append(out, v)
+	}
+	return out
+}
+
+// mapKeysSorted is the canonical fix and must not be a finding.
+func mapKeysSorted(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// mapToMap only fills another map: order-insensitive.
+func mapToMap(m map[int]int) map[int]int {
+	inv := make(map[int]int, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m { // want detdrift "a call to Println"
+		fmt.Println(k, v)
+	}
+}
+
+func mapFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want detdrift "a floating-point accumulation into sum"
+		sum += v
+	}
+	return sum
+}
+
+func consume(int) {}
+
+func mapFeedsCall(m map[int]bool) {
+	for k := range m { // want detdrift "a call to consume with the iteration variable"
+		consume(k)
+	}
+}
+
+// mapCountSuppressed shows a reasoned suppression silencing the rule.
+func mapCountSuppressed(m map[int]float64) float64 {
+	var sum float64
+	// lint:ignore detdrift the values are integral counters; addition commutes exactly
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// badSuppression carries a directive without a reason: it suppresses
+// nothing and is itself reported under the pseudo-rule "lint".
+func badSuppression() int64 {
+	// want(+1) lint "malformed lint:ignore"
+	// lint:ignore detdrift
+	return time.Now().Unix() // want detdrift "wall-clock time.Now"
+}

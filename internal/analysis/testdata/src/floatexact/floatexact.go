@@ -1,0 +1,41 @@
+// Package floatexact is a linter fixture for exact float comparison:
+// computed-vs-computed ==/!= is flagged, constants and NaN probes pass.
+package floatexact
+
+func equalCost(a, b float64) bool {
+	return a == b // want floatexact "exact floating-point =="
+}
+
+func notEqualCost(a, b float64) bool {
+	return a != b // want floatexact "exact floating-point !="
+}
+
+// zeroGuard compares against a compile-time constant: exact by
+// construction, so no finding.
+func zeroGuard(den float64) bool {
+	return den == 0
+}
+
+// nanProbe is the portable IsNaN idiom and stays legal.
+func nanProbe(x float64) bool {
+	return x != x
+}
+
+// integersAreFine: the rule only cares about floating point.
+func integersAreFine(a, b int) bool {
+	return a == b
+}
+
+func switchOnFloat(x float64) int {
+	switch x {
+	case 1.5: // want floatexact "switch case compares float x exactly"
+		return 1
+	}
+	return 0
+}
+
+// suppressedCompare shows a reasoned suppression silencing the rule.
+func suppressedCompare(cur, last float64) bool {
+	// lint:ignore floatexact cur is checked against a stored copy of itself, not recomputed arithmetic
+	return cur != last
+}

@@ -112,6 +112,7 @@ func (nw *Network) Step(cost CostFunc) bool {
 					bestLink = l
 				}
 			}
+			// lint:ignore floatexact change detection against the stored previous value, not recomputed arithmetic
 			if best != nd.dist[d] || bestLink != nd.next[d] {
 				changed = true
 			}

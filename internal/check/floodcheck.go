@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"strings"
 
 	"repro/internal/topology"
@@ -133,7 +134,16 @@ func runFloodTrace(g *topology.Graph, loss float64, seed int64, ops []floodOp) e
 			}
 		}
 	}
+	// Repair in link order, not map order: SetLineUp queues full-table
+	// resyncs on the restored line, and this function's determinism
+	// contract (fixed (g, loss, seed, ops) ⇒ fixed outcome, which ddmin
+	// shrinking relies on) must not rest on map iteration order.
+	repair := make([]topology.LinkID, 0, len(down))
 	for l := range down {
+		repair = append(repair, l)
+	}
+	slices.Sort(repair)
+	for _, l := range repair {
 		nw.SetLineUp(l)
 	}
 	rounds, quiet := nw.RunUntilQuiet(100)

@@ -1,0 +1,70 @@
+package check
+
+// Reproducer lint fixtures: checker -lint renders each ddmin-minimized
+// failure as a self-contained Go source file next to its .scn/.txt
+// reproducer and runs the static-analysis suite of internal/analysis over
+// the output directory. The fixture replays deterministically (fixed seed
+// and script imply a fixed digest), so the determinism linter can vet the
+// generated artifact the same way it vets the tree — and the weekly
+// workflow does exactly that over the long campaign's artifact directory.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// FixtureModule makes dir a standalone Go module (module reprofixtures)
+// if it is not one already. The nested go.mod keeps the generated
+// fixtures out of the repository's own "./..." builds while letting the
+// analysis loader root itself there, even when dir is outside any module.
+func FixtureModule(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	gomod := filepath.Join(dir, "go.mod")
+	if _, err := os.Stat(gomod); err == nil {
+		return nil
+	}
+	return os.WriteFile(gomod, []byte("module reprofixtures\n\ngo 1.22\n"), 0o644)
+}
+
+// WriteLintFixture renders failure n as a Go fixture in dir and returns
+// the written filename. The file opts into the deterministic rule set via
+// lint:deterministic and must come out of the generator lint-clean; a
+// finding in it means the generator itself drifted.
+func WriteLintFixture(dir string, n int, f *Failure) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("%03d-%s-seed%d_repro.go", n, f.Check, f.Seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Reproducer fixture rendered by checker -lint for the %q failure\n", f.Check)
+	fmt.Fprintf(&b, "// under seed %d; rerun with: checker -campaigns 1 -seed %d\n", f.Seed, f.Seed)
+	b.WriteString("//\n// lint:deterministic\npackage reprofixtures\n\nimport \"math/rand\"\n\n")
+	id := fmt.Sprintf("%03d", n)
+	fmt.Fprintf(&b, "// Check%s identifies the failing checker.\nconst Check%s = %s\n\n",
+		id, id, strconv.Quote(f.Check))
+	fmt.Fprintf(&b, "// Seed%s is the campaign seed the failure reproduces under.\nconst Seed%s = int64(%d)\n\n",
+		id, id, f.Seed)
+	fmt.Fprintf(&b, "// Script%s is the ddmin-minimized reproducer.\nconst Script%s = %s\n\n",
+		id, id, strconv.Quote(f.Repro))
+	fmt.Fprintf(&b, `// Replay%s folds the script through a stream seeded from Seed%s: the
+// digest is a pure function of (seed, script), which is the determinism
+// contract every reproducer relies on.
+func Replay%s() uint64 {
+	rng := rand.New(rand.NewSource(Seed%s))
+	var digest uint64
+	for _, c := range []byte(Script%s) {
+		digest = (digest*1099511628211 + uint64(c)) ^ uint64(rng.Int63())
+	}
+	return digest
+}
+`, id, id, id, id, id)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return name, nil
+}

@@ -1,0 +1,76 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var fixtureFailure = &Failure{
+	Check: "flood-delivery",
+	Seed:  42,
+	Topo:  "ring of 8",
+	Err:   "update from origin 3 not delivered everywhere",
+	Repro: "topo: ring of 8\nloss: 0.4100\noriginate 3\nstep\nwith `backticks` and \"quotes\"\n",
+}
+
+// TestLintFixtureIsCleanGo: the rendered fixture must parse, type-check,
+// and come out of the full rule suite without a single finding.
+func TestLintFixtureIsCleanGo(t *testing.T) {
+	dir := t.TempDir()
+	name, err := WriteLintFixture(dir, 3, fixtureFailure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "003-flood-delivery-seed42_repro.go" {
+		t.Errorf("fixture name = %q", name)
+	}
+	if err := FixtureModule(dir); err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(dir, []string{"./..."}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) > 0 {
+		t.Fatalf("generated fixture does not type-check: %v", res.Errors)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("generated fixture is not lint-clean: %v", res.Findings)
+	}
+}
+
+// TestLintFixtureDirCatchesDrift: the smoke run is not a rubber stamp —
+// a nondeterministic file landing in the fixture directory is caught,
+// because the rendered fixtures opt the whole package into detdrift.
+func TestLintFixtureDirCatchesDrift(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteLintFixture(dir, 1, fixtureFailure); err != nil {
+		t.Fatal(err)
+	}
+	if err := FixtureModule(dir); err != nil {
+		t.Fatal(err)
+	}
+	bad := "package reprofixtures\n\nimport \"time\"\n\n" +
+		"func stamp() int64 { return time.Now().UnixNano() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(dir, []string{"./..."}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range res.Findings {
+		if d.Rule == "detdrift" && strings.Contains(d.Message, "time.Now") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wall clock in fixture dir not caught; findings %v, errors %v",
+			res.Findings, res.Errors)
+	}
+}

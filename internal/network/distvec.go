@@ -97,7 +97,9 @@ func (n *Network) dvExchange(p *psn, now sim.Time) {
 		pkt.Vector, pkt.Arrival = vec, l
 		n.enqueue(n.links[l], pkt, now)
 	}
-	n.kernel.ScheduleCall(dvExchangePeriod, n.dvExchangeFn, p)
+	// Fire-and-forget: the exchange chain re-arms itself forever; nothing
+	// ever cancels a vector exchange.
+	_ = n.kernel.ScheduleCall(dvExchangePeriod, n.dvExchangeFn, p)
 }
 
 // dvReceive stores a neighbor's vector; the next exchange recomputes.
@@ -119,7 +121,8 @@ func (n *Network) dvSetup() {
 	for i, p := range n.psns {
 		p.dv = newDVState(p.id, n.g.NumNodes())
 		offset := sim.Time(int64(dvExchangePeriod) * int64(i) / int64(len(n.psns)))
-		n.kernel.ScheduleCall(offset+dvExchangePeriod, n.dvExchangeFn, p)
+		// Fire-and-forget: see dvExchange — the chain is never cancelled.
+		_ = n.kernel.ScheduleCall(offset+dvExchangePeriod, n.dvExchangeFn, p)
 	}
 }
 

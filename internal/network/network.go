@@ -294,7 +294,8 @@ func New(cfg Config) *Network {
 	n.scheduleSampling()
 	n.scheduleTraffic()
 	if cfg.Warmup > 0 {
-		n.kernel.Schedule(cfg.Warmup, func(sim.Time) { n.startMeasuring() })
+		// Fire-and-forget: warmup end is unconditional for the whole run.
+		_ = n.kernel.Schedule(cfg.Warmup, func(sim.Time) { n.startMeasuring() })
 	} else {
 		n.startMeasuring()
 	}
@@ -424,7 +425,9 @@ func (n *Network) scheduleTraffic() {
 
 func (n *Network) armSource(p *psn) {
 	p.sourceArmed = true
-	n.kernel.ScheduleCall(n.nextArrival(p), n.sourceFireFn, p)
+	// Fire-and-forget: the source chain parks itself via sourceArmed when
+	// the matrix zeroes the rate, rather than being cancelled.
+	_ = n.kernel.ScheduleCall(n.nextArrival(p), n.sourceFireFn, p)
 }
 
 func (n *Network) nextArrival(p *psn) sim.Time {
@@ -457,7 +460,8 @@ func (n *Network) sourceFire(p *psn, now sim.Time) {
 		n.offeredBits += size
 	}
 	n.handlePacket(p, pkt, now)
-	n.kernel.ScheduleCall(n.nextArrival(p), n.sourceFireFn, p)
+	// Fire-and-forget: see armSource.
+	_ = n.kernel.ScheduleCall(n.nextArrival(p), n.sourceFireFn, p)
 }
 
 func (p *psn) pickDst() topology.NodeID {
@@ -589,7 +593,9 @@ func (n *Network) txDone(ls *linkState, now sim.Time) {
 		}
 		e := n.getProp()
 		e.pkt, e.ls = pkt, ls
-		n.kernel.ScheduleCall(sim.FromSeconds(ls.link.PropDelay)+node.ProcessingDelay, n.propArriveFn, e)
+		// Fire-and-forget: a packet on the wire is past cancellation; an
+		// outage mid-propagation is handled at arrival, not by cancel.
+		_ = n.kernel.ScheduleCall(sim.FromSeconds(ls.link.PropDelay)+node.ProcessingDelay, n.propArriveFn, e)
 	}
 	n.startTx(ls, now)
 }
@@ -692,7 +698,9 @@ func (n *Network) scheduleMeasurement() {
 		// synchronously, because flooding is fast — that effect emerges
 		// from the packet-level flood, not from scheduling).
 		offset := sim.Time(int64(period) * int64(i) / int64(len(n.psns)))
-		n.kernel.ScheduleCall(offset+period, n.measureFn, p)
+		// Fire-and-forget: measurement periods run for the lifetime of the
+		// network; down links skip inside measure instead of cancelling.
+		_ = n.kernel.ScheduleCall(offset+period, n.measureFn, p)
 	}
 }
 
@@ -712,13 +720,15 @@ func (n *Network) measure(p *psn, now sim.Time) {
 	if report || now-p.lastOriginated >= node.MaxUpdateInterval {
 		n.originate(p, now)
 	}
-	n.kernel.ScheduleCall(node.MeasurementPeriod, n.measureFn, p)
+	// Fire-and-forget: see scheduleMeasurement.
+	_ = n.kernel.ScheduleCall(node.MeasurementPeriod, n.measureFn, p)
 }
 
 // --- utilization sampling -----------------------------------------------
 
 func (n *Network) scheduleSampling() {
-	n.kernel.Every(n.cfg.SampleInterval, func(now sim.Time) {
+	// Fire-and-forget: sampling runs for the lifetime of the network.
+	_ = n.kernel.Every(n.cfg.SampleInterval, func(now sim.Time) {
 		dt := n.cfg.SampleInterval.Seconds()
 		for _, ls := range n.links {
 			u := ls.txBitsWindow / (ls.link.Type.Bandwidth() * dt)

@@ -176,7 +176,9 @@ func (r *runner) schedule(sc *Scenario) error {
 		}
 	}
 	if sc.CheckEvery > 0 {
-		k.Every(sc.CheckEvery, func(now sim.Time) { r.checkpoint(now) })
+		// Fire-and-forget: checkpoints run until the scenario's horizon;
+		// StopOnViolation freezes the kernel rather than cancelling them.
+		_ = k.Every(sc.CheckEvery, func(now sim.Time) { r.checkpoint(now) })
 	}
 	return nil
 }

@@ -108,6 +108,7 @@ func (r *IncrementalRouter) Update(l topology.LinkID, newCost float64) {
 		panic("spf: link cost must be positive and finite")
 	}
 	old := r.costs[l]
+	// lint:ignore floatexact change detection against the stored copy of this link's cost, not recomputed arithmetic
 	if newCost == old {
 		return
 	}

@@ -86,6 +86,7 @@ func (r *Router) Update(l topology.LinkID, newCost float64) bool {
 		panic("spf: link cost must be positive and finite")
 	}
 	old := r.costs[l]
+	// lint:ignore floatexact change detection against the stored copy of this link's cost, not recomputed arithmetic
 	if newCost == old {
 		return false
 	}
@@ -122,6 +123,7 @@ func (r *Router) UpdateBatch(links []topology.LinkID, costs []float64) bool {
 			panic("spf: link cost must be positive and finite")
 		}
 		old := r.costs[l]
+		// lint:ignore floatexact change detection against the stored copy of this link's cost, not recomputed arithmetic
 		if c == old {
 			continue
 		}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Run the domain static-analysis suite (cmd/arpanetlint) over the whole
+# repository: determinism, pool-safety, sim.Handle discipline, float
+# comparison hygiene and domain error checking. Exit 1 on any finding.
+#
+# Usage:
+#   scripts/lint.sh               # whole repo, human-readable
+#   scripts/lint.sh -json         # machine-readable result schema
+#   scripts/lint.sh -rules detdrift,poolsafe
+#
+# Suppress an intentional site with "// lint:ignore <rule> <reason>" on
+# the flagged line or the line above; the reason is mandatory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/arpanetlint "$@" ./...

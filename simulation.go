@@ -119,7 +119,8 @@ func (s *Simulation) TrunkCost(a, b string) float64 {
 // given simulated time (both directions).
 func (s *Simulation) FailTrunkAt(seconds float64, a, b string) {
 	l := s.trunk(a, b)
-	s.n.Kernel().Schedule(sim.FromSeconds(seconds)-s.n.Kernel().Now(), func(sim.Time) {
+	// Fire-and-forget: the public API exposes no way to unschedule a fault.
+	_ = s.n.Kernel().Schedule(sim.FromSeconds(seconds)-s.n.Kernel().Now(), func(sim.Time) {
 		s.n.SetTrunkDown(l)
 	})
 }
@@ -128,7 +129,8 @@ func (s *Simulation) FailTrunkAt(seconds float64, a, b string) {
 // comes back at maximum cost and eases in (§5.4).
 func (s *Simulation) RestoreTrunkAt(seconds float64, a, b string) {
 	l := s.trunk(a, b)
-	s.n.Kernel().Schedule(sim.FromSeconds(seconds)-s.n.Kernel().Now(), func(sim.Time) {
+	// Fire-and-forget: see FailTrunkAt.
+	_ = s.n.Kernel().Schedule(sim.FromSeconds(seconds)-s.n.Kernel().Now(), func(sim.Time) {
 		s.n.SetTrunkUp(l)
 	})
 }
