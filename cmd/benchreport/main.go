@@ -8,9 +8,17 @@
 //
 //	go test -run '^$' -bench . -benchtime 1x ./... | go run ./cmd/benchreport [-o BENCH_1.json]
 //	go run ./cmd/benchreport -o BENCH_2.json bench-output.txt
+//	go run ./cmd/benchreport -against BENCH_3.json -max-regress 10% bench-output.txt
 //
 // Without -o the next free BENCH_<n>.json in the current directory is
 // chosen. scripts/bench.sh wires the whole pipeline together.
+//
+// With -against the run becomes a regression gate: every benchmark present
+// in both the input and the baseline snapshot is compared, and the command
+// exits non-zero if any slowed down by at least -max-regress (a percentage,
+// "10" or "10%"), or if a benchmark that was allocation-free in the
+// baseline now allocates. With -against and no -o, no snapshot is written —
+// gate-only mode, which is how CI uses it.
 package main
 
 import (
@@ -58,6 +66,8 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`
 func main() {
 	out := flag.String("o", "", "output file (default: next free BENCH_<n>.json)")
 	notes := flag.String("notes", "", "free-form context recorded in the snapshot")
+	against := flag.String("against", "", "baseline snapshot to gate regressions against")
+	maxRegress := flag.String("max-regress", "10%", "slowdown that fails the gate, as a percentage")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -79,20 +89,99 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
 
-	path := *out
-	if path == "" {
-		path = nextSnapshotPath(".")
+	if *out != "" || *against == "" {
+		path := *out
+		if path == "" {
+			path = nextSnapshotPath(".")
+		}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+		printDelta(os.Stdout, path, snap)
 	}
-	data, err := json.MarshalIndent(snap, "", "  ")
+
+	if *against != "" {
+		threshold, err := parseMaxRegress(*maxRegress)
+		if err != nil {
+			fatal(err)
+		}
+		baseline, err := loadSnapshot(*against)
+		if err != nil {
+			fatal(err)
+		}
+		failures := gate(os.Stdout, *against, baseline, snap, threshold)
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: %d benchmark(s) regressed beyond %.6g%% of %s\n",
+				failures, threshold, *against)
+			os.Exit(1)
+		}
+		fmt.Printf("gate passed: no benchmark regressed %.6g%% or more vs %s\n", threshold, *against)
+	}
+}
+
+// parseMaxRegress accepts a percentage with or without the sign: "10",
+// "10%", "12.5%".
+func parseMaxRegress(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad -max-regress %q: want a positive percentage like 10%%", s)
+	}
+	return v, nil
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fatal(err)
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
-	printDelta(os.Stdout, path, snap)
+	return &s, nil
+}
+
+// gate compares the new run against the baseline, benchmark by benchmark
+// (keyed by package+name, so the same name in two packages never
+// cross-compares), and returns the number of failures: an ns/op slowdown
+// of at least maxRegress percent, or a benchmark that was allocation-free
+// in the baseline and now allocates — the zero-alloc guarantee is part of
+// the kernel's contract, and it fails deterministically regardless of how
+// noisy the machine is. Benchmarks present on only one side are reported
+// but never fail the gate: a renamed or new benchmark is not a regression.
+func gate(w io.Writer, baselinePath string, baseline, snap *Snapshot, maxRegress float64) int {
+	old := make(map[string]Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		old[r.Package+"/"+r.Name] = r
+	}
+	failures := 0
+	for _, r := range snap.Benchmarks {
+		p, ok := old[r.Package+"/"+r.Name]
+		if !ok {
+			fmt.Fprintf(w, "gate: %-44s not in %s, skipped\n", r.Name, filepath.Base(baselinePath))
+			continue
+		}
+		if p.NsPerOp > 0 && r.NsPerOp > 0 {
+			pct := (r.NsPerOp - p.NsPerOp) / p.NsPerOp * 100
+			if pct >= maxRegress {
+				fmt.Fprintf(w, "gate: FAIL %-39s ns/op %s exceeds the %.6g%% limit\n",
+					r.Name, deltaStr(p.NsPerOp, r.NsPerOp), maxRegress)
+				failures++
+			}
+		}
+		if p.AllocsPerOp == 0 && r.AllocsPerOp > 0 {
+			fmt.Fprintf(w, "gate: FAIL %-39s allocs/op 0→%.0f — was allocation-free\n",
+				r.Name, r.AllocsPerOp)
+			failures++
+		}
+	}
+	return failures
 }
 
 // snapshotName matches the auto-numbered snapshot files.

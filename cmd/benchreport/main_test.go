@@ -57,6 +57,111 @@ func TestPreviousSnapshotPicksHighestEarlier(t *testing.T) {
 	}
 }
 
+func TestParseMaxRegress(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"10", 10, true},
+		{"10%", 10, true},
+		{" 12.5% ", 12.5, true},
+		{"0", 0, false},
+		{"-5%", 0, false},
+		{"ten", 0, false},
+		{"", 0, false},
+	} {
+		got, err := parseMaxRegress(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("parseMaxRegress(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestGateInjectedSlowdown is the gate's reason to exist: a run identical
+// to the baseline except for one benchmark slowed by 2x must fail, and the
+// same run without the injected slowdown must pass.
+func TestGateInjectedSlowdown(t *testing.T) {
+	baseline := &Snapshot{Benchmarks: []Result{
+		{Name: "BenchmarkKernelScheduleFire", Package: "repro/internal/sim", NsPerOp: 25},
+		{Name: "BenchmarkKernelChurn1k", Package: "repro/internal/sim", NsPerOp: 130},
+		{Name: "BenchmarkSimPacketsPerSec", Package: "repro", NsPerOp: 8.0e7, AllocsPerOp: 3000},
+	}}
+	healthy := &Snapshot{Benchmarks: []Result{
+		{Name: "BenchmarkKernelScheduleFire", Package: "repro/internal/sim", NsPerOp: 26},
+		{Name: "BenchmarkKernelChurn1k", Package: "repro/internal/sim", NsPerOp: 125},
+		{Name: "BenchmarkSimPacketsPerSec", Package: "repro", NsPerOp: 7.9e7, AllocsPerOp: 2800},
+	}}
+	var buf strings.Builder
+	if n := gate(&buf, "BENCH_X.json", baseline, healthy, 10); n != 0 {
+		t.Fatalf("healthy run failed the gate (%d failures):\n%s", n, buf.String())
+	}
+
+	slowed := &Snapshot{Benchmarks: []Result{
+		{Name: "BenchmarkKernelScheduleFire", Package: "repro/internal/sim", NsPerOp: 26},
+		{Name: "BenchmarkKernelChurn1k", Package: "repro/internal/sim", NsPerOp: 260}, // injected 2x
+		{Name: "BenchmarkSimPacketsPerSec", Package: "repro", NsPerOp: 7.9e7, AllocsPerOp: 2800},
+	}}
+	buf.Reset()
+	if n := gate(&buf, "BENCH_X.json", baseline, slowed, 10); n != 1 {
+		t.Fatalf("injected 2x slowdown produced %d failures, want 1:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "BenchmarkKernelChurn1k") {
+		t.Fatalf("failure output does not name the regressed benchmark:\n%s", buf.String())
+	}
+}
+
+// TestGateEdges pins the boundary and the special cases: a slowdown at
+// exactly the threshold fails; a benchmark that was allocation-free and
+// now allocates fails even when its time improved; same-named benchmarks
+// in different packages never cross-compare; benchmarks missing from the
+// baseline are skipped, not failed.
+func TestGateEdges(t *testing.T) {
+	baseline := &Snapshot{Benchmarks: []Result{
+		{Name: "BenchmarkA", Package: "p1", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkA", Package: "p2", NsPerOp: 1000},
+	}}
+	var buf strings.Builder
+
+	// Exactly at the threshold: >= fails.
+	at := &Snapshot{Benchmarks: []Result{{Name: "BenchmarkA", Package: "p1", NsPerOp: 110}}}
+	if n := gate(&buf, "b", baseline, at, 10); n != 1 {
+		t.Fatalf("+10%% at a 10%% limit produced %d failures, want 1", n)
+	}
+	just := &Snapshot{Benchmarks: []Result{{Name: "BenchmarkA", Package: "p1", NsPerOp: 109.9}}}
+	if n := gate(&buf, "b", baseline, just, 10); n != 0 {
+		t.Fatalf("+9.9%% at a 10%% limit produced %d failures, want 0", n)
+	}
+
+	// Faster but newly allocating: the zero-alloc contract fails the gate.
+	allocs := &Snapshot{Benchmarks: []Result{
+		{Name: "BenchmarkA", Package: "p1", NsPerOp: 50, AllocsPerOp: 2},
+	}}
+	buf.Reset()
+	if n := gate(&buf, "b", baseline, allocs, 10); n != 1 {
+		t.Fatalf("new allocations produced %d failures, want 1:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "allocation-free") {
+		t.Fatalf("alloc failure not reported:\n%s", buf.String())
+	}
+
+	// p2's BenchmarkA is 10x slower than p1's; keyed by package it passes.
+	cross := &Snapshot{Benchmarks: []Result{{Name: "BenchmarkA", Package: "p2", NsPerOp: 1000}}}
+	if n := gate(&buf, "b", baseline, cross, 10); n != 0 {
+		t.Fatalf("cross-package comparison produced %d failures, want 0", n)
+	}
+
+	// Unknown benchmark: skipped with a note, never a failure.
+	unknown := &Snapshot{Benchmarks: []Result{{Name: "BenchmarkNew", Package: "p1", NsPerOp: 9e9}}}
+	buf.Reset()
+	if n := gate(&buf, "b", baseline, unknown, 10); n != 0 {
+		t.Fatalf("unknown benchmark produced %d failures, want 0", n)
+	}
+	if !strings.Contains(buf.String(), "skipped") {
+		t.Fatalf("unknown benchmark not reported as skipped:\n%s", buf.String())
+	}
+}
+
 func TestPrintDelta(t *testing.T) {
 	dir := t.TempDir()
 	writeSnap(t, filepath.Join(dir, "BENCH_1.json"), &Snapshot{Benchmarks: []Result{

@@ -14,6 +14,9 @@ import (
 //  1. a call returning a sim.Handle (or *sim.Ticker) used as a bare
 //     statement — the event can never be cancelled. Fire-and-forget is
 //     legitimate but must be explicit: assign to a variable or to `_`.
+//     The handle may be one component of a multi-result call — the
+//     (Handle, error) shape of ScheduleAt/ScheduleCallAt and the
+//     (*Ticker, error) shape of EveryAt — not just the sole result.
 //  2. h.Pending() reached after an unconditional h.Cancel() in the same
 //     statement sequence with no reassignment of h — it is always false.
 //
@@ -67,6 +70,23 @@ func isHandleType(t types.Type) (name string, ok bool) {
 	return "", false
 }
 
+// handleResult finds a sim.Handle/Ticker anywhere in a call's result
+// type: the single-result schedulers (Schedule, Every) type as the handle
+// itself, while the error-returning forms (ScheduleAt, ScheduleCallAt,
+// EveryAt) type as a tuple with the handle as one component — discarding
+// the statement drops the handle either way.
+func handleResult(t types.Type) (string, bool) {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if name, ok := isHandleType(tup.At(i).Type()); ok {
+				return name, true
+			}
+		}
+		return "", false
+	}
+	return isHandleType(t)
+}
+
 // walkSeq scans one statement sequence, tracking which handle variables
 // have been cancelled (var -> line of the Cancel).
 func (h *HandleCheck) walkSeq(pass *Pass, stmts []ast.Stmt, cancelled map[*types.Var]int) {
@@ -82,7 +102,7 @@ func (h *HandleCheck) walkSeq(pass *Pass, stmts []ast.Stmt, cancelled map[*types
 				cancelled[v] = pass.Fset.Position(call.Pos()).Line
 				continue
 			}
-			if name, ok := isHandleType(pass.TypeOf(call)); ok {
+			if name, ok := handleResult(pass.TypeOf(call)); ok {
 				msg := fmt.Sprintf("scheduled event's sim.%s discarded; the event can never be cancelled", name)
 				hint := "assign it (and Cancel on teardown) or write `_ = ...` to mark fire-and-forget"
 				if v, line := anyCancelled(cancelled); v != nil {

@@ -17,6 +17,24 @@ func explicitFireAndForget(k *sim.Kernel) {
 	_ = k.Schedule(5, func(sim.Time) {})
 }
 
+// The error-returning schedulers hide the handle inside a result tuple;
+// discarding the whole statement must still be caught (the errcheck-lite
+// rule independently flags the dropped error on the same line).
+func discardTupleHandle(k *sim.Kernel) {
+	k.ScheduleAt(5, func(sim.Time) {}) // want handlecheck "sim.Handle discarded" // want errcheck-lite "error from ScheduleAt discarded"
+}
+
+func discardTupleTicker(k *sim.Kernel) {
+	k.EveryAt(5, 7, func(sim.Time) {}) // want handlecheck "sim.Ticker discarded" // want errcheck-lite "error from EveryAt discarded"
+}
+
+// explicitTupleFireAndForget keeps the error but deliberately blanks the
+// handle — the accepted marker, same as the single-result form.
+func explicitTupleFireAndForget(k *sim.Kernel) error {
+	_, err := k.ScheduleAt(5, func(sim.Time) {})
+	return err
+}
+
 func pendingAfterCancel(k *sim.Kernel) bool {
 	h := k.Schedule(5, func(sim.Time) {})
 	h.Cancel()

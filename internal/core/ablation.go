@@ -61,7 +61,7 @@ func NewModuleOptions(p LineParams, bandwidth, propDelay float64, opts ...Option
 	}
 	if m.opts.md1Table {
 		s := m.serviceTime
-		m.table = queueing.NewTableFunc(s, s/100, s*200, queueing.UtilizationFromDelayMD1)
+		m.table = queueing.NewTableMD1(s, s/100, s*200)
 	}
 	return m
 }

@@ -184,6 +184,12 @@ type linkState struct {
 	busy   bool
 	down   bool
 
+	// Per-packet constants hoisted out of the transmit path: the line
+	// bandwidth (saves a line-type table lookup per transmission) and the
+	// fixed propagation + processing latency (saves a float conversion).
+	bandwidth float64
+	propLat   sim.Time
+
 	// In-flight transmission: the packet on the transmitter and the handle
 	// of its completion event, so SetTrunkDown can cancel the transmission
 	// instead of letting a stale txDone fire after a repair and start a
@@ -254,9 +260,11 @@ func New(cfg Config) *Network {
 			}
 		}
 		ls := &linkState{
-			link:   l,
-			queue:  node.NewQueue(cfg.QueueLimit),
-			module: mod(l),
+			link:      l,
+			queue:     node.NewQueue(cfg.QueueLimit),
+			module:    mod(l),
+			bandwidth: l.Type.Bandwidth(),
+			propLat:   sim.FromSeconds(l.PropDelay) + node.ProcessingDelay,
 		}
 		n.links[i] = ls
 		initial[i] = ls.module.Cost()
@@ -498,8 +506,9 @@ func (n *Network) handlePacket(p *psn, pkt *node.Packet, now sim.Time) {
 		if pkt.Counted {
 			n.delivered.Inc()
 			n.deliveredBits += pkt.SizeBits
-			n.delay.Add((now - pkt.Created).Seconds())
-			n.delayHist.Add((now - pkt.Created).Seconds())
+			d := (now - pkt.Created).Seconds()
+			n.delay.Add(d)
+			n.delayHist.Add(d)
 			n.hops.Add(float64(pkt.Hops))
 		}
 		n.pool.Put(pkt)
@@ -552,7 +561,7 @@ func (n *Network) startTx(ls *linkState, now sim.Time) {
 	}
 	ls.busy = true
 	ls.txPkt = pkt
-	txTime := sim.FromSeconds(pkt.SizeBits / ls.link.Type.Bandwidth())
+	txTime := sim.FromSeconds(pkt.SizeBits / ls.bandwidth)
 	ls.txEvent = n.kernel.ScheduleCall(txTime, n.txDoneFn, ls)
 }
 
@@ -595,7 +604,7 @@ func (n *Network) txDone(ls *linkState, now sim.Time) {
 		e.pkt, e.ls = pkt, ls
 		// Fire-and-forget: a packet on the wire is past cancellation; an
 		// outage mid-propagation is handled at arrival, not by cancel.
-		_ = n.kernel.ScheduleCall(sim.FromSeconds(ls.link.PropDelay)+node.ProcessingDelay, n.propArriveFn, e)
+		_ = n.kernel.ScheduleCall(ls.propLat, n.propArriveFn, e)
 	}
 	n.startTx(ls, now)
 }

@@ -110,10 +110,13 @@ func (p *Packet) IsRouting() bool { return p.Update != nil || p.Vector != nil }
 // The store is a ring buffer: head-insert for routing packets and Pop are
 // O(1), where the previous slice implementation shifted every element on
 // both paths. The user-packet count is tracked incrementally so the limit
-// check no longer scans the queue.
+// check no longer scans the queue. The capacity is a power of two so index
+// wrapping is a mask, not a division — Push/Pop are on the per-packet hot
+// path of every trunk.
 type Queue struct {
 	limit   int // maximum queued user packets
 	buf     []*Packet
+	mask    int // len(buf)-1; len(buf) is always a power of two
 	head    int // index of the front packet
 	n       int // packets in the queue (all classes)
 	users   int // user packets in the queue
@@ -138,9 +141,10 @@ func (q *Queue) grow() {
 	}
 	buf := make([]*Packet, capacity)
 	for i := 0; i < q.n; i++ {
-		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+		buf[i] = q.buf[(q.head+i)&q.mask]
 	}
 	q.buf = buf
+	q.mask = capacity - 1
 	q.head = 0
 }
 
@@ -151,7 +155,7 @@ func (q *Queue) Push(p *Packet) bool {
 		if q.n == len(q.buf) {
 			q.grow()
 		}
-		q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+		q.head = (q.head - 1) & q.mask
 		q.buf[q.head] = p
 		q.n++
 		if q.n > q.maxSeen {
@@ -166,7 +170,7 @@ func (q *Queue) Push(p *Packet) bool {
 	if q.n == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.buf[(q.head+q.n)&q.mask] = p
 	q.n++
 	q.users++
 	if q.n > q.maxSeen {
@@ -182,7 +186,7 @@ func (q *Queue) Pop() *Packet {
 	}
 	p := q.buf[q.head]
 	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & q.mask
 	q.n--
 	if !p.IsRouting() {
 		q.users--
@@ -198,7 +202,7 @@ func (q *Queue) Len() int { return q.n }
 // packets without disturbing them.
 func (q *Queue) Scan(fn func(*Packet)) {
 	for i := 0; i < q.n; i++ {
-		fn(q.buf[(q.head+i)%len(q.buf)])
+		fn(q.buf[(q.head+i)&q.mask])
 	}
 }
 

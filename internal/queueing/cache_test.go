@@ -1,0 +1,66 @@
+package queueing
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTableCacheSharing: identical parameters must yield the same
+// (immutable) Table instance; any differing parameter — or the M/D/1
+// inversion — must yield a distinct one.
+func TestTableCacheSharing(t *testing.T) {
+	s := ServiceTime(50e3)
+	a := NewTable(s, s/100, s*200)
+	b := NewTable(s, s/100, s*200)
+	if a != b {
+		t.Fatal("NewTable with identical parameters returned distinct tables")
+	}
+	if c := NewTable(s, s/100, s*100); c == a {
+		t.Fatal("NewTable with a different maxDelay returned the cached table")
+	}
+	md1 := NewTableMD1(s, s/100, s*200)
+	if md1 == a {
+		t.Fatal("NewTableMD1 returned the M/M/1 table for the same parameters")
+	}
+	if md2 := NewTableMD1(s, s/100, s*200); md2 != md1 {
+		t.Fatal("NewTableMD1 with identical parameters returned distinct tables")
+	}
+	// The two inversions must actually differ in content, not just identity.
+	d := s * 10
+	if md1.Lookup(d) == a.Lookup(d) {
+		t.Fatalf("M/M/1 and M/D/1 tables agree at delay %g; the cache key is conflating them", d)
+	}
+}
+
+// TestTableCacheConcurrent hammers one cache key from many goroutines:
+// every caller must come back with the same instance (first-stored-wins),
+// and the race detector must stay quiet.
+func TestTableCacheConcurrent(t *testing.T) {
+	s := ServiceTime(9.6e3)
+	got := make([]*Table, 32)
+	var wg sync.WaitGroup
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = NewTable(s, s/100, s*200)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d got a different table instance", i)
+		}
+	}
+}
+
+// TestTableFuncUncached: the arbitrary-inverter constructor cannot share
+// by parameter key and must build fresh every call.
+func TestTableFuncUncached(t *testing.T) {
+	s := ServiceTime(50e3)
+	a := NewTableFunc(s, s/100, s*200, UtilizationFromDelay)
+	b := NewTableFunc(s, s/100, s*200, UtilizationFromDelay)
+	if a == b {
+		t.Fatal("NewTableFunc returned a shared table; it must build fresh per call")
+	}
+}

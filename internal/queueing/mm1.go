@@ -5,7 +5,10 @@
 // divided by the trunk's bandwidth").
 package queueing
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // AvgPacketBits is the network-wide average packet size used by the PSN to
 // convert measured delay into a utilization estimate (paper §4.1).
@@ -108,11 +111,56 @@ type Table struct {
 	rho         []float64
 }
 
-// NewTable builds a lookup table for a line with the given service time,
+// A Table is immutable once built, so identical parameter sets can share
+// one instance: a network build constructs a table per line, the topology
+// has only a handful of distinct line speeds, and each table runs to tens
+// of thousands of entries. The cache is locked because batch runners build
+// networks concurrently. It never evicts — the key space is the set of
+// line types ever instantiated, which is tiny and stable.
+var (
+	tableMu    sync.Mutex
+	tableCache = map[tableKey]*Table{}
+)
+
+type tableKey struct {
+	serviceTime, step, maxDelay float64
+	md1                         bool
+}
+
+func cachedTable(serviceTime, step, maxDelay float64, md1 bool,
+	invert func(serviceTime, delay float64) float64) *Table {
+	key := tableKey{serviceTime, step, maxDelay, md1}
+	tableMu.Lock()
+	t := tableCache[key]
+	tableMu.Unlock()
+	if t != nil {
+		return t
+	}
+	// Build outside the lock; a concurrent duplicate build is harmless,
+	// the first one stored wins.
+	t = NewTableFunc(serviceTime, step, maxDelay, invert)
+	tableMu.Lock()
+	if prev := tableCache[key]; prev != nil {
+		t = prev
+	} else {
+		tableCache[key] = t
+	}
+	tableMu.Unlock()
+	return t
+}
+
+// NewTable returns a lookup table for a line with the given service time,
 // quantized to step seconds, covering delays up to maxDelay, under the
-// M/M/1 inversion the paper uses.
+// M/M/1 inversion the paper uses. Tables are cached: repeated calls with
+// the same parameters return the same (immutable) instance.
 func NewTable(serviceTime, step, maxDelay float64) *Table {
-	return NewTableFunc(serviceTime, step, maxDelay, UtilizationFromDelay)
+	return cachedTable(serviceTime, step, maxDelay, false, UtilizationFromDelay)
+}
+
+// NewTableMD1 is NewTable under the M/D/1 inversion (the sensitivity
+// ablation), with the same parameter-keyed caching.
+func NewTableMD1(serviceTime, step, maxDelay float64) *Table {
+	return cachedTable(serviceTime, step, maxDelay, true, UtilizationFromDelayMD1)
 }
 
 // NewTableFunc is NewTable with an explicit delay→utilization inverter —

@@ -1,0 +1,461 @@
+package sim
+
+// Calendar-queue pathological-schedule tests. The differential tests in
+// differential_test.go cover the adversarial random mix; the cases here
+// aim at the calendar's specific failure modes: timestamps at the Time
+// extremes (window anchoring and shift arithmetic near MaxInt64),
+// zero-delay self-rescheduling storms (sorted-front append and same-batch
+// growth), resize thrash between sparse and dense epochs (retune under a
+// live mixed population), scheduling below a stale window after a long
+// RunUntil gap, free-list decay after a burst, and the counter semantics
+// visible from inside a same-instant dispatch batch.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mirror pairs the kernel under test with the container/heap reference,
+// assigning ids in schedule order so fire sequences can be compared.
+type mirror struct {
+	k   *Kernel
+	ref *refKernel
+
+	fired, refFired []int
+	handles         []Handle
+	refHandles      []*refItem
+}
+
+func newMirror() *mirror { return &mirror{k: New(), ref: &refKernel{}} }
+
+// at schedules an event at the absolute time in both queues and returns
+// its id. The reference delay is computed against ref.now so the mirror
+// stays correct even when called from inside a kernel callback (where the
+// reference clock lags behind the event being fired).
+func (m *mirror) at(t *testing.T, at Time) int {
+	t.Helper()
+	id := len(m.handles)
+	h, err := m.k.ScheduleAt(at, func(Time) { m.fired = append(m.fired, id) })
+	if err != nil {
+		t.Fatalf("ScheduleAt(%v) at now=%v: %v", at, m.k.Now(), err)
+	}
+	m.handles = append(m.handles, h)
+	m.refHandles = append(m.refHandles, m.ref.schedule(at-m.ref.now, id))
+	return id
+}
+
+// cancel cancels event id in both queues.
+func (m *mirror) cancel(id int) {
+	m.handles[id].Cancel()
+	m.refHandles[id].stopped = true
+}
+
+// step fires one event in each queue and checks they agree.
+func (m *mirror) step(t *testing.T) bool {
+	t.Helper()
+	ok := m.k.Step()
+	id, refOK := m.ref.step()
+	if ok != refOK {
+		t.Fatalf("Step() = %v, reference = %v (after %d fires)", ok, refOK, len(m.fired))
+	}
+	if !ok {
+		return false
+	}
+	m.refFired = append(m.refFired, id)
+	n := len(m.refFired)
+	if len(m.fired) != n || m.fired[n-1] != id {
+		t.Fatalf("fire %d: got event %d, reference %d", n-1, m.fired[n-1], id)
+	}
+	if m.k.Now() != m.ref.now {
+		t.Fatalf("fire %d: clock %v, reference %v", n-1, m.k.Now(), m.ref.now)
+	}
+	return true
+}
+
+// drain steps both queues to empty and checks the final state agrees.
+func (m *mirror) drain(t *testing.T) {
+	t.Helper()
+	for m.step(t) {
+	}
+	if m.k.Pending() != 0 {
+		t.Fatalf("%d events pending after drain", m.k.Pending())
+	}
+}
+
+// TestTimeExtremes schedules events at the representable extremes — time
+// zero, the far future near MaxInt64, and maxTime itself (with a FIFO
+// tie) — alongside ordinary near-term events. The window anchoring and
+// shift arithmetic must survive absolute bucket numbers near 2^63/width,
+// and the ladder must migrate down correctly across a span of millennia.
+func TestTimeExtremes(t *testing.T) {
+	t.Parallel()
+	m := newMirror()
+	m.at(t, 0)                      // fires at the current instant
+	m.at(t, 0)                      // FIFO tie at time zero
+	m.at(t, maxTime)                // the last representable instant
+	m.at(t, 3*Millisecond)          // ordinary near-term event
+	m.at(t, maxTime-1)              // just below the extreme
+	m.at(t, maxTime)                // FIFO tie at the extreme
+	m.at(t, 500*365*24*3600*Second) // five centuries out, mid-ladder
+	m.at(t, 1)                      // one microsecond
+	m.drain(t)
+	if m.k.Now() != maxTime {
+		t.Fatalf("clock after drain = %v, want maxTime", m.k.Now())
+	}
+
+	// The same extremes must survive batched dispatch: both maxTime events
+	// fire (RunUntil's deadline comparison is inclusive at the extreme).
+	k := New()
+	var order []int
+	for i, at := range []Time{maxTime, 0, maxTime, 7 * Second} {
+		id := i
+		if _, err := k.ScheduleAt(at, func(Time) { order = append(order, id) }); err != nil {
+			t.Fatalf("ScheduleAt(%v): %v", at, err)
+		}
+	}
+	k.Run()
+	want := []int{1, 3, 0, 2}
+	if len(order) != len(want) {
+		t.Fatalf("Run fired %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("Run fire order %v, want %v", order, want)
+		}
+	}
+	if k.Now() != maxTime || k.Pending() != 0 {
+		t.Fatalf("after Run: now=%v pending=%d, want maxTime and 0", k.Now(), k.Pending())
+	}
+}
+
+// TestZeroDelayStorm drives a self-rescheduling zero-delay chain — each
+// firing schedules the next at the same instant — interleaved with
+// pre-queued same-instant events. The chain stresses the sorted front's
+// append path: every reschedule must join the tail of the current batch
+// (higher sequence number), never preempt queued same-time events, and
+// the clock must not advance.
+func TestZeroDelayStorm(t *testing.T) {
+	t.Parallel()
+	const depth = 5000
+	base := 10 * Millisecond
+
+	// Step-by-step, cross-checked against the reference heap.
+	m := newMirror()
+	var storm func(Time)
+	remaining := depth
+	storm = func(Time) {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		id := len(m.handles)
+		h, err := m.k.ScheduleAt(m.k.Now(), func(now Time) {
+			m.fired = append(m.fired, id)
+			storm(now)
+		})
+		if err != nil {
+			t.Fatalf("storm reschedule: %v", err)
+		}
+		m.handles = append(m.handles, h)
+		m.refHandles = append(m.refHandles, m.ref.schedule(m.k.Now()-m.ref.now, id))
+	}
+	first := len(m.handles)
+	h, err := m.k.ScheduleAt(base, func(now Time) {
+		m.fired = append(m.fired, first)
+		storm(now)
+	})
+	if err != nil {
+		t.Fatalf("ScheduleAt: %v", err)
+	}
+	m.handles = append(m.handles, h)
+	m.refHandles = append(m.refHandles, m.ref.schedule(base, first))
+	m.at(t, base) // pre-queued tie: must fire before any storm reschedule
+	m.at(t, base)
+	m.drain(t)
+	if m.k.Now() != base {
+		t.Fatalf("clock advanced to %v during a zero-delay storm at %v", m.k.Now(), base)
+	}
+	if len(m.fired) != depth+3 {
+		t.Fatalf("storm fired %d events, want %d", len(m.fired), depth+3)
+	}
+
+	// The same storm under Run: the whole chain is one same-instant batch,
+	// and FIFO-by-sequence means fire order is exactly schedule order.
+	k := New()
+	var order []int
+	n := 0
+	var chain Event
+	chain = func(Time) {
+		id := n
+		n++
+		order = append(order, id)
+		if n < depth {
+			k.Schedule(0, chain)
+		}
+	}
+	k.Schedule(base, chain)
+	k.Run()
+	if k.Now() != base {
+		t.Fatalf("Run clock = %v, want %v", k.Now(), base)
+	}
+	if len(order) != depth {
+		t.Fatalf("Run storm fired %d, want %d", len(order), depth)
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("storm fire order broke FIFO at %d: got id %d", i, id)
+		}
+	}
+	if k.Fired() != depth || k.Pending() != 0 {
+		t.Fatalf("after storm: Fired=%d Pending=%d, want %d and 0", k.Fired(), k.Pending(), depth)
+	}
+}
+
+// TestResizeThrash alternates dense epochs (thousands of events packed
+// into two milliseconds) with sparse ones (a handful spread over minutes),
+// draining only half the queue between epochs so every retune rebuilds a
+// live mixed population, and cancelling a slice of each epoch to stress
+// lazy pruning through the rebuilds. Fire order is cross-checked against
+// the reference heap throughout.
+func TestResizeThrash(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	m := newMirror()
+	for epoch := 0; epoch < 8; epoch++ {
+		start := len(m.handles)
+		if epoch%2 == 0 {
+			for i := 0; i < 3000; i++ {
+				m.at(t, m.k.Now()+Time(rng.Intn(2000))*Microsecond)
+			}
+		} else {
+			for i := 0; i < 100; i++ {
+				m.at(t, m.k.Now()+Time(rng.Intn(200))*Second)
+			}
+		}
+		if epoch == 0 && len(m.k.bucket) <= minBuckets {
+			t.Fatalf("dense epoch left %d buckets; the calendar never grew", len(m.k.bucket))
+		}
+		// Cancel a tenth of this epoch's events.
+		for id := start; id < len(m.handles); id++ {
+			if rng.Intn(10) == 0 {
+				m.cancel(id)
+			}
+		}
+		// Drain half the queue, leaving a mixed population for the next
+		// epoch's retunes to rebuild.
+		for i := m.k.Pending() / 2; i > 0; i-- {
+			if !m.step(t) {
+				break
+			}
+		}
+	}
+	m.drain(t)
+	if m.k.Fired() != uint64(len(m.fired)) {
+		t.Fatalf("Fired() = %d, %d callbacks ran", m.k.Fired(), len(m.fired))
+	}
+}
+
+// TestBelowWindowAfterGap parks far-future work on the overflow ladder,
+// advances the clock across a long idle gap with RunUntil, then schedules
+// immediate events. The new events' buckets lie far beyond the stale
+// calendar window, so they must detour through the ladder and migrate
+// back down in order — the re-anchor path that a quiescent queue skips.
+func TestBelowWindowAfterGap(t *testing.T) {
+	t.Parallel()
+	m := newMirror()
+	m.at(t, 100*Second) // parked on the ladder
+	m.at(t, 200*Second)
+
+	m.k.RunUntil(50 * Second)
+	m.ref.now = 50 * Second
+	if len(m.fired) != 0 {
+		t.Fatalf("%d events fired before the gap deadline", len(m.fired))
+	}
+
+	// Now() is deep beyond the window anchored at time zero.
+	m.at(t, m.k.Now())
+	m.at(t, m.k.Now()+Millisecond)
+	m.at(t, m.k.Now()) // same-instant tie behind the first
+	m.drain(t)
+	if m.k.Now() != 200*Second {
+		t.Fatalf("clock after drain = %v, want 200s", m.k.Now())
+	}
+}
+
+// TestFreeListDecayAfterBurst proves the slot store is bounded by the
+// high-watermark decay: a burst ten-plus times the steady population must
+// be handed back once it subsides, and handles minted during the burst
+// must stay inert after their slots are truncated away.
+func TestFreeListDecayAfterBurst(t *testing.T) {
+	t.Parallel()
+	const burst = 20000
+	rng := rand.New(rand.NewSource(3))
+	k := New()
+	var handles []Handle
+	for i := 0; i < burst; i++ {
+		handles = append(handles, k.Schedule(Time(rng.Intn(1000))*Millisecond, func(Time) {}))
+	}
+	if got := k.slotCap(); got < burst {
+		t.Fatalf("slot store holds %d slots during a %d-event burst", got, burst)
+	}
+	k.Run()
+
+	// Steady phase: a single self-rescheduling event. A few decay periods
+	// later the store must have shrunk back near the floor.
+	n := 0
+	var tick Event
+	tick = func(Time) {
+		n++
+		if n < 5*decayPeriod {
+			k.Schedule(Millisecond, tick)
+		}
+	}
+	k.Schedule(Millisecond, tick)
+	k.Run()
+	if got := k.slotCap(); got > 2*minSlots {
+		t.Fatalf("slot store still holds %d slots after the burst subsided (floor %d)", got, minSlots)
+	}
+
+	// A burst-era handle whose slot was truncated away must read as dead
+	// and refuse to cancel whatever lives there now.
+	h := handles[burst-1]
+	if h.Pending() {
+		t.Fatal("truncated-slot handle reports Pending")
+	}
+	if h.Cancel() {
+		t.Fatal("truncated-slot handle Cancel() reported true")
+	}
+}
+
+// TestCounterSemanticsMidBatch pins the documented Fired/Pending counter
+// semantics as observed from inside a same-instant dispatch batch: Fired
+// includes the observing event itself, counted one at a time, and Pending
+// counts the unfired remainder of the batch alongside later events —
+// including a same-instant event the batch itself schedules.
+func TestCounterSemanticsMidBatch(t *testing.T) {
+	t.Parallel()
+	k := New()
+	at := 5 * Millisecond
+	later := 10 * Millisecond
+
+	type obs struct {
+		fired   uint64
+		pending int
+	}
+	var seen []obs
+	look := func(Time) { seen = append(seen, obs{k.Fired(), k.Pending()}) }
+
+	mustAt := func(at Time, fn Event) {
+		if _, err := k.ScheduleAt(at, fn); err != nil {
+			t.Fatalf("ScheduleAt(%v): %v", at, err)
+		}
+	}
+	mustAt(at, look)            // e1
+	mustAt(at, func(now Time) { // e2: schedules e5 into its own batch
+		look(now)
+		mustAt(now, look) // e5
+	})
+	mustAt(at, look)    // e3
+	mustAt(later, look) // e4
+	k.Run()
+
+	// Fire order: e1, e2, e3, e5 (batch tail), then e4.
+	want := []obs{
+		{1, 3}, // e1: itself fired; e2, e3, e4 pending
+		{2, 2}, // e2: e3, e4 pending (e5 scheduled after the look)
+		{3, 2}, // e3: e5 (same batch) and e4 pending
+		{4, 1}, // e5: e4 pending
+		{5, 0}, // e4
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("observed %d events, want %d", len(seen), len(want))
+	}
+	for i, w := range want {
+		if seen[i] != w {
+			t.Fatalf("event %d observed Fired=%d Pending=%d, want Fired=%d Pending=%d",
+				i, seen[i].fired, seen[i].pending, w.fired, w.pending)
+		}
+	}
+}
+
+// TestStopMidBatch halts a run from the middle of a same-instant batch:
+// the unfired remainder must stay queued, the clock must hold at the
+// halted instant, and a resumed Run must continue exactly where the first
+// left off.
+func TestStopMidBatch(t *testing.T) {
+	t.Parallel()
+	k := New()
+	at := 3 * Millisecond
+	var order []string
+	mustAt := func(name string, stop bool) {
+		if _, err := k.ScheduleAt(at, func(Time) {
+			order = append(order, name)
+			if stop {
+				k.Stop()
+			}
+		}); err != nil {
+			t.Fatalf("ScheduleAt: %v", err)
+		}
+	}
+	mustAt("a", false)
+	mustAt("b", true)
+	mustAt("c", false)
+
+	k.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("halted run fired %v, want [a b]", order)
+	}
+	if k.Now() != at || k.Pending() != 1 {
+		t.Fatalf("after halt: now=%v pending=%d, want %v and 1", k.Now(), k.Pending(), at)
+	}
+
+	k.Run()
+	if len(order) != 3 || order[2] != "c" {
+		t.Fatalf("resumed run fired %v, want [a b c]", order)
+	}
+	if k.Now() != at || k.Pending() != 0 {
+		t.Fatalf("after resume: now=%v pending=%d, want %v and 0", k.Now(), k.Pending(), at)
+	}
+}
+
+// TestEveryAt covers the phase-offset ticker: the first firing lands at
+// the absolute anchor, subsequent firings at period intervals, Stop ends
+// the series, a past anchor errors, and a non-positive period panics.
+func TestEveryAt(t *testing.T) {
+	t.Parallel()
+	k := New()
+	var fires []Time
+	tk, err := k.EveryAt(2*Second+500*Millisecond, Second, func(now Time) {
+		fires = append(fires, now)
+	})
+	if err != nil {
+		t.Fatalf("EveryAt: %v", err)
+	}
+	k.RunUntil(5 * Second)
+	want := []Time{2*Second + 500*Millisecond, 3*Second + 500*Millisecond, 4*Second + 500*Millisecond}
+	if len(fires) != len(want) {
+		t.Fatalf("ticker fired %d times by 5s, want %d (%v)", len(fires), len(want), fires)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("ticker firings %v, want %v", fires, want)
+		}
+	}
+	tk.Stop()
+	k.RunUntil(20 * Second)
+	if len(fires) != len(want) {
+		t.Fatalf("ticker fired after Stop: %v", fires)
+	}
+
+	if _, err := k.EveryAt(Second, Second, func(Time) {}); err == nil {
+		t.Fatal("EveryAt with a past anchor did not error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("EveryAt with period 0 did not panic")
+			}
+		}()
+		_, _ = k.EveryAt(25*Second, 0, func(Time) {}) // panics before returning
+	}()
+}

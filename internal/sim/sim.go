@@ -1,16 +1,34 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// The kernel is a single-threaded event loop over a binary-heap event queue.
-// Time is measured in integer microseconds (Time) so that runs are exactly
-// reproducible across platforms. Events scheduled for the same instant fire
-// in the order they were scheduled (FIFO tie-break by sequence number).
+// The kernel is a single-threaded event loop over a calendar queue: an
+// array of time buckets whose width tracks the observed inter-event
+// spacing, with a binary-heap overflow ladder for events beyond the
+// calendar window (see calendar.go). Under the simulator's steady
+// tick+transmit workload — event delays tightly clustered around the
+// transmission and propagation times — schedule and fire are O(1)
+// amortized, where the previous binary-heap kernel paid O(log n) sifts and
+// a pointer chase per event.
 //
-// The event queue is allocation-free in steady state: heap entries are
-// recycled through an intrusive free-list once fired or drained, and the
-// ScheduleCall variants take a reusable callback plus an argument instead of
-// a per-event closure, so a long run puts no pressure on the garbage
-// collector. Handles carry a generation tag so a stale Handle can never
-// cancel the event that later reuses its recycled entry.
+// Time is measured in integer microseconds (Time) so that runs are exactly
+// reproducible across platforms. Events scheduled for the same instant
+// fire in the order they were scheduled (FIFO tie-break by sequence
+// number) — byte-for-byte the order the binary-heap kernel produced, which
+// the differential tests in this package pin against a container/heap
+// reference.
+//
+// Event state lives in a struct-of-arrays slot store: the fields of a
+// scheduled event are split across parallel slices indexed by a compact
+// int32 slot id, so the queue walks touch dense pointer-free arrays
+// instead of chasing per-event heap objects, and the collector never scans
+// or write-barriers the queue links. The store is allocation-free in
+// steady state: slots are recycled through an intrusive free-list once
+// fired or cancelled-and-drained, and the ScheduleCall variants take a
+// reusable callback plus an argument instead of a per-event closure.
+// Handles carry a generation tag so a stale Handle can never cancel the
+// event that later reuses its recycled slot. After a scheduling surge
+// subsides, a periodic decay pass shrinks the slot store back toward the
+// live high-watermark, so burst capacity is reclaimed rather than held for
+// the rest of the run.
 //
 // The kernel knows nothing about networks; internal/network builds the
 // ARPANET model on top of it.
@@ -19,6 +37,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Time is a simulation timestamp in microseconds since the start of the run.
@@ -30,6 +49,10 @@ const (
 	Millisecond Time = 1000 * Microsecond
 	Second      Time = 1000 * Millisecond
 )
+
+// maxTime is the latest representable instant; Run drains with it as the
+// deadline.
+const maxTime = Time(math.MaxInt64)
 
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
@@ -52,113 +75,228 @@ type Event func(now Time)
 // a fresh closure per event bind one Call once and pass varying arguments.
 type Call func(now Time, arg any)
 
-// item is a heap entry. seq breaks ties so same-time events run FIFO. Fired
-// and drained items are recycled through the kernel's free-list; gen is
-// bumped at every recycle so outstanding Handles to the old life of the
-// entry turn inert instead of acting on its new occupant.
-type item struct {
-	at      Time
-	seq     uint64
-	fn      Event // closure form (nil when cfn is set)
-	cfn     Call  // callback+arg form
-	arg     any
-	stopped bool
-	index   int    // heap position, -1 once removed
-	gen     uint64 // recycle generation
-	next    *item  // free-list link
-}
+// Slot-store tuning. The decay pass runs every decayPeriod fired events;
+// it rebuilds the free-list lowest-slot-first (so live events compact into
+// the low slots) and, when the store has grown past four times the recent
+// live high-watermark, truncates the all-free tail back to twice the
+// watermark. minSlots floors the store so small kernels never churn.
+const (
+	minSlots    = 64
+	decayPeriod = 4096
+)
+
+// Slot location/state byte: the low bits say which container holds the
+// slot, the top bit marks a cancelled (stopped) event awaiting lazy
+// removal from that container.
+const (
+	locFree  uint8 = iota // on the free-list
+	locCal                // linked into a calendar bucket
+	locOver               // in the overflow ladder heap
+	flagStop uint8 = 0x80
+)
 
 // Handle identifies a scheduled event so it can be cancelled. The zero
 // Handle is valid and inert.
 type Handle struct {
-	k   *Kernel
-	it  *item
-	gen uint64
+	k    *Kernel
+	slot int32
+	gen  uint64
 }
 
 // live reports whether the handle still refers to the scheduled event it
-// was created for (the entry may since have been recycled for another).
-func (h Handle) live() bool { return h.it != nil && h.it.gen == h.gen }
+// was created for (the slot may since have been recycled for another, or
+// truncated away by the decay pass).
+func (h Handle) live() bool {
+	return h.k != nil && int(h.slot) < len(h.k.gen) && h.k.gen[h.slot] == h.gen
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancel reports whether the event was
 // still pending. The callback and its argument are released immediately —
-// a cancelled entry may sit in the heap until drained lazily, and must not
-// pin packets or other payloads alive meanwhile.
+// a cancelled slot may sit in its bucket until drained lazily, and must
+// not pin packets or other payloads alive meanwhile.
 func (h Handle) Cancel() bool {
-	if !h.live() || h.it.stopped {
+	if !h.live() {
 		return false
 	}
-	it := h.it
-	it.stopped = true
-	it.fn = nil
-	it.cfn = nil
-	it.arg = nil
-	// The item stays in the heap until drained lazily; track it so Pending
-	// stays exact.
-	if it.index >= 0 && h.k != nil {
-		h.k.cancelled++
+	k, s := h.k, h.slot
+	if k.loc[s]&flagStop != 0 {
+		return false
+	}
+	k.loc[s] |= flagStop
+	k.fn[s], k.cfn[s], k.arg[s] = nil, nil, nil
+	k.pending--
+	if s == k.peeked {
+		k.peeked = -1
 	}
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
-func (h Handle) Pending() bool { return h.live() && !h.it.stopped && h.it.index >= 0 }
+func (h Handle) Pending() bool {
+	return h.live() && h.k.loc[h.slot]&flagStop == 0
+}
 
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; create one with New.
 type Kernel struct {
-	now       Time
-	seq       uint64
-	queue     []*item
-	free      *item // intrusive free-list of recycled heap entries
-	cancelled int   // cancelled events not yet drained from the heap
-	running   bool
-	stopped   bool
+	now Time
+	seq uint64
+
+	// Slot store: one scheduled event per slot, fields split across
+	// parallel arrays (struct-of-arrays). next doubles as the calendar
+	// bucket chain link and the free-list link; at/eseq/loc/next are
+	// pointer-free, so queue maintenance never touches the write barrier.
+	at   []Time
+	eseq []uint64
+	fn   []Event
+	cfn  []Call
+	arg  []any
+	gen  []uint64
+	loc  []uint8
+	next []int32
+
+	freeHead int32 // free-list head, -1 when empty
+	freeN    int   // slots on the free-list
+	liveHigh int   // high-watermark of live slots since the last decay
+	genFloor uint64
+
+	// Calendar queue + overflow ladder (calendar.go).
+	bucket    []int32 // chain heads, len is a power of two, -1 when empty
+	width     Time    // bucket time width, always a power of two
+	shift     uint    // log2(width): time→bucket is a shift, not a divide
+	scanAbs   int64   // absolute bucket number of the scan position
+	sortedAbs int64   // scan position whose bucket chain is known-sorted
+	lastIns   int32   // last sorted-front insert position, -1 when unknown
+	calN      int     // slots linked into buckets (including cancelled)
+	over      []int32 // overflow ladder: binary heap ordered by (at, eseq)
+
+	// Memoized peekNext result: the known-earliest live slot, or -1. Kept
+	// current on enqueue (a new minimum replaces it) and invalidated by
+	// take and by Cancel of the memoized slot, so repeated peeks — one per
+	// fired event to close the same-instant batch — skip the scan.
+	peeked     int32
+	peekedOver bool
+
+	pending   int // scheduled events still able to fire
 	fired     uint64
+	decayTick int
+	tuneNow   Time   // clock at the last retune — fire-rate width sampling
+	tuneFired uint64 // fire count at the last retune
+	overPops  int    // ladder pops since the last decay — churn detector
+	running   bool
+	halted    bool
+
+	scratch   []int32 // retune / front-sort slot scratch (reused)
+	atScratch []Time  // retune timestamp scratch (reused)
 }
 
 // New returns an empty kernel with the clock at time zero.
-func New() *Kernel { return &Kernel{} }
+func New() *Kernel {
+	k := &Kernel{
+		bucket:    make([]int32, minBuckets),
+		freeHead:  -1,
+		lastIns:   -1,
+		peeked:    -1,
+		decayTick: decayPeriod,
+		// Pre-sized so a small kernel's first retune stays allocation-free.
+		scratch:   make([]int32, 0, minSlots),
+		atScratch: make([]Time, 0, minSlots),
+	}
+	k.setWidth(initialWidth)
+	for i := range k.bucket {
+		k.bucket[i] = -1
+	}
+	return k
+}
 
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Fired returns the number of events executed so far.
+// Fired returns the number of events executed so far. The count is
+// incremented as each event fires — an event observing Fired from its own
+// callback sees itself included, and same-instant events dispatched as one
+// batch are still counted one at a time.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
 // Pending returns the number of events currently scheduled and still able
-// to fire. Cancelled events awaiting lazy removal from the heap are not
-// counted.
-func (k *Kernel) Pending() int { return len(k.queue) - k.cancelled }
+// to fire. Cancelled events awaiting lazy removal are not counted. During
+// a same-instant dispatch batch the not-yet-fired remainder of the batch
+// still counts: a callback observes exactly the events that can still run,
+// whether they sit in a bucket, the overflow ladder, or later in its own
+// batch.
+func (k *Kernel) Pending() int { return k.pending }
 
-// alloc takes an entry off the free-list, or makes one on first use.
-func (k *Kernel) alloc() *item {
-	it := k.free
-	if it == nil {
-		return &item{}
+// alloc takes a slot off the free-list, or extends the store on first use.
+func (k *Kernel) alloc() int32 {
+	s := k.freeHead
+	if s < 0 {
+		k.at = append(k.at, 0)
+		k.eseq = append(k.eseq, 0)
+		k.fn = append(k.fn, nil)
+		k.cfn = append(k.cfn, nil)
+		k.arg = append(k.arg, nil)
+		k.gen = append(k.gen, k.genFloor)
+		k.loc = append(k.loc, locFree)
+		k.next = append(k.next, -1)
+		s = int32(len(k.at) - 1)
+	} else {
+		k.freeHead = k.next[s]
+		k.freeN--
 	}
-	k.free = it.next
-	it.next = nil
-	it.stopped = false
-	return it
+	if live := len(k.at) - k.freeN; live > k.liveHigh {
+		k.liveHigh = live
+	}
+	return s
 }
 
-// recycle retires an entry to the free-list, invalidating every Handle to
-// its current life and dropping any payload it still references.
-func (k *Kernel) recycle(it *item) {
-	it.gen++
-	it.fn = nil
-	it.cfn = nil
-	it.arg = nil
-	it.index = -1
-	it.next = k.free
-	k.free = it
+// allocFast pops the free-list, deferring to the full alloc when the
+// store must grow or the live high-watermark needs a bump; small enough
+// to inline into the schedule path. An empty free-list implies the live
+// count equals len(at) >= liveHigh, so the watermark test alone also
+// routes the must-grow case to alloc.
+func (k *Kernel) allocFast() int32 {
+	if len(k.at)-k.freeN >= k.liveHigh {
+		return k.alloc()
+	}
+	s := k.freeHead
+	k.freeHead = k.next[s]
+	k.freeN--
+	return s
+}
+
+// recycle retires a slot to the free-list, invalidating every Handle to
+// its current life. The payload fields are left in place — three barriered
+// pointer stores per fired event would dominate the fire path — which is
+// safe because Cancel nils them eagerly (so a cancelled slot pins nothing
+// while it waits to be drained) and a fired slot's stale payload is
+// overwritten on reuse; with the store bounded near the live population,
+// a fired slot waits at most a few events for that.
+func (k *Kernel) recycle(s int32) {
+	k.gen[s]++
+	k.loc[s] = locFree
+	k.next[s] = k.freeHead
+	k.freeHead = s
+	k.freeN++
 }
 
 // ErrPastEvent is returned by ScheduleAt when the requested time is before
 // the current simulation time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// scheduleSlot allocates and enqueues one event; exactly one of fn and cfn
+// is non-nil. Sequence numbers are assigned in call order — the FIFO
+// tie-break for same-instant events.
+func (k *Kernel) scheduleSlot(at Time, fn Event, cfn Call, arg any) Handle {
+	s := k.allocFast()
+	k.at[s] = at
+	k.eseq[s] = k.seq
+	k.seq++
+	k.fn[s], k.cfn[s], k.arg[s] = fn, cfn, arg
+	k.pending++
+	k.enqueue(s)
+	return Handle{k: k, slot: s, gen: k.gen[s]}
+}
 
 // ScheduleAt schedules fn to run at absolute time at. It returns a Handle
 // that can cancel the event, and an error if at precedes the current time.
@@ -166,13 +304,7 @@ func (k *Kernel) ScheduleAt(at Time, fn Event) (Handle, error) {
 	if at < k.now {
 		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, k.now)
 	}
-	it := k.alloc()
-	it.at = at
-	it.seq = k.seq
-	it.fn = fn
-	k.seq++
-	k.push(it)
-	return Handle{k: k, it: it, gen: it.gen}, nil
+	return k.scheduleSlot(at, fn, nil, nil), nil
 }
 
 // Schedule schedules fn to run after delay (which may be zero). A negative
@@ -181,12 +313,7 @@ func (k *Kernel) Schedule(delay Time, fn Event) Handle {
 	if delay < 0 {
 		delay = 0
 	}
-	h, err := k.ScheduleAt(k.now+delay, fn)
-	if err != nil {
-		// Unreachable: now+delay >= now for delay >= 0 (overflow aside).
-		panic(err)
-	}
-	return h
+	return k.scheduleSlot(k.now+delay, fn, nil, nil)
 }
 
 // ScheduleCallAt schedules fn(at, arg) at absolute time at. fn is typically
@@ -197,14 +324,7 @@ func (k *Kernel) ScheduleCallAt(at Time, fn Call, arg any) (Handle, error) {
 	if at < k.now {
 		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, k.now)
 	}
-	it := k.alloc()
-	it.at = at
-	it.seq = k.seq
-	it.cfn = fn
-	it.arg = arg
-	k.seq++
-	k.push(it)
-	return Handle{k: k, it: it, gen: it.gen}, nil
+	return k.scheduleSlot(at, nil, fn, arg), nil
 }
 
 // ScheduleCall schedules fn(now, arg) after delay (which may be zero). A
@@ -213,11 +333,7 @@ func (k *Kernel) ScheduleCall(delay Time, fn Call, arg any) Handle {
 	if delay < 0 {
 		delay = 0
 	}
-	h, err := k.ScheduleCallAt(k.now+delay, fn, arg)
-	if err != nil {
-		panic(err)
-	}
-	return h
+	return k.scheduleSlot(k.now+delay, nil, fn, arg)
 }
 
 // Every schedules fn to run every period, starting after the first period.
@@ -232,6 +348,21 @@ func (k *Kernel) Every(period Time, fn Event) *Ticker {
 	return t
 }
 
+// EveryAt schedules fn to fire first at absolute time first and every
+// period thereafter — a phase-offset ticker for staggered periodic work.
+// It returns an error if first precedes the current time.
+func (k *Kernel) EveryAt(first, period Time, fn Event) (*Ticker, error) {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	if first < k.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, first, k.now)
+	}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.handle = k.scheduleSlot(first, nil, tickerFire, t)
+	return t, nil
+}
+
 // Ticker repeatedly fires an event at a fixed period until stopped.
 type Ticker struct {
 	k       *Kernel
@@ -242,7 +373,7 @@ type Ticker struct {
 }
 
 // tickerFire is the single shared callback behind every ticker: re-arming
-// allocates no closure, only a recycled heap entry.
+// allocates no closure, only a recycled slot.
 func tickerFire(now Time, arg any) {
 	t := arg.(*Ticker)
 	if t.stopped {
@@ -265,44 +396,47 @@ func (t *Ticker) Stop() {
 }
 
 // Stop halts the run loop after the currently executing event returns.
-func (k *Kernel) Stop() { k.stopped = true }
+// When the event was part of a same-instant batch, the unfired remainder
+// of the batch stays queued, so a resumed run continues exactly where the
+// halted one left off.
+func (k *Kernel) Stop() { k.halted = true }
 
 // Step executes the single next pending event. It reports false when the
-// queue is empty.
+// queue is empty. Unlike Run/RunUntil it never batches: callers that
+// interleave their own bookkeeping between events see one event per call.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		it := k.pop()
-		if it.stopped {
-			k.cancelled--
-			k.recycle(it)
-			continue
-		}
-		k.now = it.at
-		k.fired++
-		it.stopped = true
-		// Move the callback to locals and recycle before invoking: the
-		// callback itself may schedule new events into this entry, and
-		// outstanding Handles are severed by the generation bump exactly as
-		// they were by the stopped flag alone.
-		fn, cfn, arg := it.fn, it.cfn, it.arg
-		k.recycle(it)
-		if cfn != nil {
-			cfn(k.now, arg)
-		} else {
-			fn(k.now)
-		}
-		return true
+	s, fromOver, ok := k.peekNext()
+	if !ok {
+		return false
 	}
-	return false
+	k.take(s, fromOver)
+	k.now = k.at[s]
+	k.fired++
+	k.pending--
+	fn, cfn, arg := k.fn[s], k.cfn[s], k.arg[s]
+	// Recycle before invoking: the callback may schedule new events into
+	// this slot, and outstanding Handles are severed by the generation
+	// bump exactly as they were by the stopped flag alone.
+	k.recycle(s)
+	k.decayTick--
+	if k.decayTick <= 0 {
+		k.decay()
+	}
+	if cfn != nil {
+		cfn(k.now, arg)
+	} else {
+		fn(k.now)
+	}
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
 func (k *Kernel) Run() {
 	k.runGuard()
 	defer func() { k.running = false }()
-	for !k.stopped && k.Step() {
+	for !k.halted && k.fireBatch(maxTime) {
 	}
-	k.stopped = false
+	k.halted = false
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
@@ -313,16 +447,11 @@ func (k *Kernel) Run() {
 func (k *Kernel) RunUntil(deadline Time) {
 	k.runGuard()
 	defer func() { k.running = false }()
-	for !k.stopped {
-		next, ok := k.peek()
-		if !ok || next > deadline {
-			break
-		}
-		k.Step()
+	for !k.halted && k.fireBatch(deadline) {
 	}
-	stopped := k.stopped
-	k.stopped = false
-	if !stopped && k.now < deadline {
+	halted := k.halted
+	k.halted = false
+	if !halted && k.now < deadline {
 		k.now = deadline
 	}
 }
@@ -334,98 +463,86 @@ func (k *Kernel) runGuard() {
 	k.running = true
 }
 
-// peek returns the timestamp of the next runnable event.
-func (k *Kernel) peek() (Time, bool) {
-	for len(k.queue) > 0 {
-		if top := k.queue[0]; top.stopped {
-			k.pop()
-			k.cancelled--
-			k.recycle(top)
-			continue
+// decay is the periodic housekeeping pass: every decayPeriod fired events
+// it re-tunes an over-provisioned calendar (see calendar.go) and bounds
+// the slot store by high-watermark decay, so memory taken by a scheduling
+// surge is handed back once the surge subsides.
+func (k *Kernel) decay() {
+	k.decayTick = decayPeriod
+	pops := k.overPops
+	k.overPops = 0
+	if fires := k.fired - k.tuneFired; fires >= 512 {
+		// Width drift: the bucket width the calendar was tuned for no
+		// longer matches the observed event rate (events per unit of
+		// simulated time), so chains are bunching up or the scan is
+		// sprinting over empties. Ladder churn: a large share of recent
+		// fires drained through the overflow heap, meaning the window is
+		// mis-anchored or mis-sized for the near-future population. Either
+		// way, rebuild. A ladder merely *holding* far-future events (idle
+		// tickers, outage timers) pops rarely and triggers nothing.
+		expect := (k.now - k.tuneNow) / Time(fires)
+		if expect < 1 {
+			expect = 1
 		}
-		return k.queue[0].at, true
-	}
-	return 0, false
-}
-
-// --- event heap ----------------------------------------------------------
-//
-// A concrete binary min-heap over (at, seq), replacing container/heap: no
-// interface dispatch, no `any` boxing on push/pop, and the sifting loops
-// inline into Step. Ordering is identical to the container/heap version —
-// the differential test in sim_test.go drives both against the same random
-// workload and asserts equal fire order.
-
-// less orders entries by time, then by schedule order.
-func less(a, b *item) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-// push adds an entry and restores the heap property.
-func (k *Kernel) push(it *item) {
-	it.index = len(k.queue)
-	k.queue = append(k.queue, it)
-	k.siftUp(it.index)
-}
-
-// pop removes and returns the minimum entry.
-func (k *Kernel) pop() *item {
-	q := k.queue
-	top := q[0]
-	n := len(q) - 1
-	last := q[n]
-	q[n] = nil
-	k.queue = q[:n]
-	if n > 0 {
-		k.queue[0] = last
-		last.index = 0
-		k.siftDown(0)
-	}
-	top.index = -1
-	return top
-}
-
-func (k *Kernel) siftUp(i int) {
-	q := k.queue
-	it := q[i]
-	for i > 0 {
-		parent := (i - 1) / 2
-		p := q[parent]
-		if !less(it, p) {
-			break
+		if k.width > 8*expect || (expect <= maxWidth && expect > 8*k.width) ||
+			pops > decayPeriod/2 {
+			k.retune()
 		}
-		q[i] = p
-		p.index = i
-		i = parent
 	}
-	q[i] = it
-	it.index = i
+	k.decaySlots()
+	k.liveHigh = len(k.at) - k.freeN
 }
 
-func (k *Kernel) siftDown(i int) {
-	q := k.queue
-	n := len(q)
-	it := q[i]
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		child := left
-		if right := left + 1; right < n && less(q[right], q[left]) {
-			child = right
-		}
-		c := q[child]
-		if !less(c, it) {
-			break
-		}
-		q[i] = c
-		c.index = i
-		i = child
+// decaySlots rebuilds the free-list lowest-slot-first — steady-state
+// allocation then prefers low slots, compacting the live population — and
+// truncates the store when it holds more than four times the recent live
+// high-watermark and the tail above twice the watermark is entirely free.
+func (k *Kernel) decaySlots() {
+	total := len(k.at)
+	target := 2 * k.liveHigh
+	if target < minSlots {
+		target = minSlots
 	}
-	q[i] = it
-	it.index = i
+	cut := total
+	if total > 2*target {
+		cut = target
+		for s := total - 1; s >= target; s-- {
+			if k.loc[s] != locFree {
+				cut = s + 1
+				break
+			}
+		}
+	}
+	if cut < total {
+		// Drop slots [cut:) by copying into right-sized arrays (releasing
+		// the old backing memory to the collector). Future slots at the
+		// dropped indices start above every generation the dropped slots
+		// ever had, so a stale Handle can never match a reborn slot.
+		for s := cut; s < total; s++ {
+			if g := k.gen[s] + 1; g > k.genFloor {
+				k.genFloor = g
+			}
+		}
+		k.at = append(make([]Time, 0, cut), k.at[:cut]...)
+		k.eseq = append(make([]uint64, 0, cut), k.eseq[:cut]...)
+		k.fn = append(make([]Event, 0, cut), k.fn[:cut]...)
+		k.cfn = append(make([]Call, 0, cut), k.cfn[:cut]...)
+		k.arg = append(make([]any, 0, cut), k.arg[:cut]...)
+		k.gen = append(make([]uint64, 0, cut), k.gen[:cut]...)
+		k.loc = append(make([]uint8, 0, cut), k.loc[:cut]...)
+		k.next = append(make([]int32, 0, cut), k.next[:cut]...)
+	}
+	k.freeHead = -1
+	k.freeN = 0
+	for s := len(k.at) - 1; s >= 0; s-- {
+		if k.loc[s] == locFree {
+			k.next[s] = k.freeHead
+			k.freeHead = int32(s)
+			k.freeN++
+		}
+	}
 }
+
+// slotCap reports the slot-store capacity; the free-list decay tests use
+// it to prove surge memory is handed back.
+func (k *Kernel) slotCap() int { return len(k.at) }

@@ -344,8 +344,8 @@ func TestPendingExcludesCancelled(t *testing.T) {
 }
 
 func TestPendingWithPeekDrain(t *testing.T) {
-	// RunUntil drains cancelled events through peek; the counter must
-	// follow that path too.
+	// RunUntil drains cancelled events lazily while scanning for the next
+	// live one; the counter must follow that path too.
 	k := New()
 	h := k.Schedule(1*Second, func(Time) {})
 	k.Schedule(5*Second, func(Time) {})
@@ -399,7 +399,7 @@ func TestScheduleCallCancel(t *testing.T) {
 	}
 }
 
-// TestCancelReleasesPayload: a cancelled event sits in the heap until
+// TestCancelReleasesPayload: a cancelled event sits in its bucket until
 // lazily drained; its callback (and everything the closure captured — in
 // the simulator: packets, link state) must be released at cancel time, not
 // at drain time.
@@ -408,10 +408,10 @@ func TestCancelReleasesPayload(t *testing.T) {
 	payload := make([]byte, 1<<20)
 	h := k.Schedule(Second, func(Time) { _ = payload[0] })
 	hc := k.ScheduleCall(Second, func(Time, any) {}, &payload)
-	if h.Cancel(); h.it.fn != nil {
+	if h.Cancel(); k.fn[h.slot] != nil {
 		t.Error("Cancel left the closure (and its captures) referenced")
 	}
-	if hc.Cancel(); hc.it.cfn != nil || hc.it.arg != nil {
+	if hc.Cancel(); k.cfn[hc.slot] != nil || k.arg[hc.slot] != nil {
 		t.Error("Cancel left the callback/argument referenced")
 	}
 }
@@ -444,20 +444,20 @@ func TestCancelledEventDoesNotPinPayload(t *testing.T) {
 	}
 }
 
-// TestItemRecycling: fired entries return through the free-list, so the
+// TestItemRecycling: fired slots return through the free-list, so the
 // steady-state schedule+fire cycle allocates nothing.
 func TestItemRecycling(t *testing.T) {
 	k := New()
 	fn := func(Time) {}
 	h1 := k.Schedule(Second, fn)
-	first := h1.it
+	first := h1.slot
 	k.Run()
 	h2 := k.Schedule(Second, fn)
-	if h2.it != first {
-		t.Error("fired entry was not recycled for the next schedule")
+	if h2.slot != first {
+		t.Error("fired slot was not recycled for the next schedule")
 	}
 	if h2.gen == h1.gen {
-		t.Error("recycled entry kept its generation")
+		t.Error("recycled slot kept its generation")
 	}
 }
 
@@ -469,8 +469,8 @@ func TestStaleHandleCannotTouchRecycledEntry(t *testing.T) {
 	k.Run()
 	fired := false
 	h2 := k.Schedule(Second, func(Time) { fired = true })
-	if h1.it != h2.it {
-		t.Fatal("test premise: the entry should have been recycled")
+	if h1.slot != h2.slot {
+		t.Fatal("test premise: the slot should have been recycled")
 	}
 	if h1.Cancel() {
 		t.Error("stale Cancel reported success")
