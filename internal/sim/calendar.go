@@ -522,11 +522,12 @@ func (k *Kernel) retune() {
 	for _, s := range live {
 		k.place(s)
 	}
-	// The rebuild may have moved the memoized minimum between the calendar
-	// and the ladder; it is still the minimum, but refresh its location.
-	if k.peeked >= 0 {
-		k.peekedOver = k.loc[k.peeked] == locOver
-	}
+	// The rebuild leaves every bucket chain unsorted (sortedAbs is
+	// invalidated above), so a memoized minimum need no longer head its
+	// chain — and the head unlink in take/fireBatch, keyed on the memo,
+	// would orphan whatever a later insert pushed ahead of it. Drop the
+	// memo; the next peek re-scans and re-sorts the front.
+	k.peeked = -1
 }
 
 // tuneWidth derives the bucket width. The primary estimator is the

@@ -255,6 +255,39 @@ func TestResizeThrash(t *testing.T) {
 	}
 }
 
+// TestRetuneWithLiveMemo covers the one path where a retune can run while
+// peekNext's memoized minimum is live: events scheduled between runs, after
+// a RunUntil's final fireBatch has peeked (and memoized) the next event
+// without firing it. A burst large enough to trigger the grow-retune in
+// enqueueSlow rebuilds every bucket as an unsorted chain; a subsequent
+// same-instant tie chain-pushed into the minimum's bucket then sits ahead
+// of the memoized slot, where a head unlink keyed on the stale memo would
+// orphan it — silently losing the event and desyncing calN.
+func TestRetuneWithLiveMemo(t *testing.T) {
+	t.Parallel()
+	m := newMirror()
+	min := 10 * Millisecond
+	m.at(t, min) // parked beyond the deadline: RunUntil memoizes, never fires
+	m.k.RunUntil(5 * Millisecond)
+	m.ref.now = 5 * Millisecond
+	if len(m.fired) != 0 {
+		t.Fatalf("%d events fired before the deadline", len(m.fired))
+	}
+
+	// Burst between runs: overfills the initial calendar and forces the
+	// grow-retune while the memo is live.
+	for i := 0; i < 300; i++ {
+		m.at(t, min+Millisecond+Time(i%64)*Microsecond)
+	}
+	// Same-instant tie in the memoized minimum's bucket: lands ahead of the
+	// memo in the rebuilt (unsorted) chain, but must fire after it (FIFO).
+	m.at(t, min)
+	m.drain(t)
+	if m.k.Now() != min+Millisecond+63*Microsecond {
+		t.Fatalf("clock after drain = %v", m.k.Now())
+	}
+}
+
 // TestBelowWindowAfterGap parks far-future work on the overflow ladder,
 // advances the clock across a long idle gap with RunUntil, then schedules
 // immediate events. The new events' buckets lie far beyond the stale

@@ -170,6 +170,101 @@ func TestDifferentialCancelRescheduleTorture(t *testing.T) {
 	}
 }
 
+// runUntil mirrors Kernel.RunUntil: it fires every event with a timestamp
+// <= deadline in (at, seq) order, then advances the clock to the deadline.
+func (k *refKernel) runUntil(deadline Time, fired *[]int) {
+	for len(k.queue) > 0 {
+		top := k.queue[0]
+		if top.stopped {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if top.at > deadline {
+			break
+		}
+		heap.Pop(&k.queue)
+		k.now = top.at
+		*fired = append(*fired, top.id)
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// TestDifferentialBurstsBetweenRuns interleaves RunUntil segments with
+// schedule/cancel bursts issued while the kernel is idle — the regime the
+// step-driven differential tests never enter. Each RunUntil's final peek
+// memoizes the next event beyond the deadline, so a burst big enough to
+// force a grow-retune (or a below-window detour through the ladder)
+// mutates the calendar under a live memo; fire order must still match the
+// reference heap exactly.
+func TestDifferentialBurstsBetweenRuns(t *testing.T) {
+	t.Parallel()
+	for seed := int64(40); seed < 48; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := New()
+		ref := &refKernel{}
+
+		var fired, refFired []int
+		var handles []Handle
+		var refHandles []*refItem
+		at := func(at Time) {
+			id := len(handles)
+			h, err := k.ScheduleAt(at, func(Time) { fired = append(fired, id) })
+			if err != nil {
+				t.Fatalf("seed %d: ScheduleAt(%v) at now=%v: %v", seed, at, k.Now(), err)
+			}
+			handles = append(handles, h)
+			refHandles = append(refHandles, ref.schedule(at-ref.now, id))
+		}
+
+		for round := 0; round < 40; round++ {
+			// Burst while idle: mostly near-term (dense, retune-forcing),
+			// some same-instant ties, a few far-future ladder entries.
+			for i, n := 0, rng.Intn(400); i < n; i++ {
+				switch r := rng.Float64(); {
+				case r < 0.80:
+					at(k.Now() + Time(rng.Intn(4000))*Microsecond)
+				case r < 0.90:
+					at(k.Now())
+				default:
+					at(k.Now() + Time(rng.Intn(100))*Second)
+				}
+			}
+			for i, n := 0, rng.Intn(20); i < n && len(handles) > 0; i++ {
+				j := rng.Intn(len(handles))
+				handles[j].Cancel()
+				refHandles[j].stopped = true
+			}
+			deadline := k.Now() + Time(rng.Intn(3000))*Microsecond
+			k.RunUntil(deadline)
+			ref.runUntil(deadline, &refFired)
+			if len(fired) != len(refFired) {
+				t.Fatalf("seed %d round %d: fired %d events, reference fired %d",
+					seed, round, len(fired), len(refFired))
+			}
+			if k.Now() != ref.now {
+				t.Fatalf("seed %d round %d: clock %v, reference %v", seed, round, k.Now(), ref.now)
+			}
+		}
+		k.Run()
+		ref.runUntil(maxTime, &refFired)
+
+		if len(fired) != len(refFired) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(fired), len(refFired))
+		}
+		for i := range fired {
+			if fired[i] != refFired[i] {
+				t.Fatalf("seed %d: fire order diverged at %d: got event %d, reference %d",
+					seed, i, fired[i], refFired[i])
+			}
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("seed %d: %d events pending after drain", seed, k.Pending())
+		}
+	}
+}
+
 func TestDifferentialFireOrder(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		rng := rand.New(rand.NewSource(seed))
