@@ -40,12 +40,24 @@ func main() {
 		seed     = flag.Int64("seed", 1987, "random seed")
 		seeds    = flag.Int("seeds", 1, "number of independent seeds to average over")
 		asJSON   = flag.Bool("json", false, "emit reports as JSON instead of the table")
-		topoName = flag.String("topology", "arpanet", "arpanet or milnet (the companion study's network)")
+		topoName = flag.String("topology", "arpanet", "arpanet, milnet, or (with -shards) hier:<R>x<P> / waxman:<N>")
 		scenFile = flag.String("scenario", "", "fault-injection script to run instead of the Table 1 study")
+		shardsN  = flag.Int("shards", 0, "run the sharded simulator with this many shards (0 = Table 1 study)")
+		rate     = flag.Float64("rate", 1.0, "per-node packet rate for -shards mode (pkts/sec)")
+		dests    = flag.Int("dests", 3, "destinations per source for -shards mode")
+		radius   = flag.Int("radius", 0, "destination locality radius in hops for -shards mode (0 = uniform)")
 	)
 	flag.Parse()
 	if *seeds < 1 {
 		log.Fatal("-seeds must be >= 1")
+	}
+	if *shardsN > 0 {
+		spec := *topoName
+		if spec == "arpanet" {
+			spec = "hier:8x16" // the Table 1 maps are too small to shard usefully
+		}
+		runSharded(*shardsN, spec, *rate, *dests, *radius, *seconds, *seed)
+		return
 	}
 	switch *topoName {
 	case "arpanet", "milnet":

@@ -1,0 +1,89 @@
+package main
+
+// The -shards mode: run the conservative-sync sharded simulator on a
+// generated large topology instead of the Table 1 study.
+//
+//	arpanetsim -shards 4 -topology hier:32x32 -seconds 30
+//	arpanetsim -shards 2 -topology waxman:500 -rate 2 -dests 4
+//
+// The sharded runner uses static per-epoch routing (no adaptive metric), so
+// it reports its own summary rather than the Table 1 indicators.
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// parseGenTopology builds a generated topology from a "hier:RxP" or
+// "waxman:N" spec.
+func parseGenTopology(spec string, seed int64) (*topology.Graph, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("topology %q: want hier:<regions>x<perRegion> or waxman:<nodes>", spec)
+	}
+	switch kind {
+	case "hier":
+		rs, ps, ok := strings.Cut(arg, "x")
+		if !ok {
+			return nil, fmt.Errorf("topology %q: want hier:<regions>x<perRegion>", spec)
+		}
+		regions, err := strconv.Atoi(rs)
+		if err != nil {
+			return nil, fmt.Errorf("topology %q: %v", spec, err)
+		}
+		per, err := strconv.Atoi(ps)
+		if err != nil {
+			return nil, fmt.Errorf("topology %q: %v", spec, err)
+		}
+		if regions < 2 || per < 3 {
+			return nil, fmt.Errorf("topology %q: need >= 2 regions and >= 3 nodes per region", spec)
+		}
+		return topology.Hierarchical(regions, per, seed), nil
+	case "waxman":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("topology %q: %v", spec, err)
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("topology %q: need >= 2 nodes", spec)
+		}
+		return topology.Waxman(n, 0.6, 0.12, seed, topology.T56, topology.T112), nil
+	default:
+		return nil, fmt.Errorf("topology %q: unknown generator %q (want hier or waxman)", spec, kind)
+	}
+}
+
+func runSharded(shards int, topoSpec string, rate float64, dests, radius int, seconds float64, seed int64) {
+	g, err := parseGenTopology(topoSpec, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := shard.New(shard.Config{
+		Graph:      g,
+		Shards:     shards,
+		Seed:       seed,
+		PktRate:    rate,
+		Dests:      dests,
+		DestRadius: radius,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sharded run: %d nodes, %d trunks, %d shards", g.NumNodes(), g.NumTrunks(), shards)
+	if la := s.Lookahead(); la > 0 {
+		fmt.Printf(", lookahead %v", la)
+	}
+	fmt.Println()
+	s.Run(sim.FromSeconds(seconds))
+	if err := s.Audit(); err != nil {
+		log.Fatalf("conservation audit failed: %v", err)
+	}
+	fmt.Print(s.Report().String())
+	fmt.Printf("events      %d\n", s.Fired())
+}

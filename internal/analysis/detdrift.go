@@ -22,6 +22,7 @@ var DeterministicPackages = []string{
 	"internal/network",
 	"internal/scenario",
 	"internal/check",
+	"internal/shard",
 }
 
 // DetDrift reports sources of nondeterminism inside deterministic
@@ -117,7 +118,7 @@ func (d *DetDrift) checkSelector(pass *Pass, sel *ast.SelectorExpr) {
 // formatted output.
 var orderedSinkNames = map[string]bool{
 	"Schedule": true, "ScheduleAt": true, "ScheduleCall": true,
-	"ScheduleCallAt": true, "Every": true,
+	"ScheduleCallAt": true, "ScheduleTailCallAt": true, "Every": true,
 	"Push": true, "Enqueue": true, "PushBack": true, "PushFront": true,
 	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
 	"Print": true, "Printf": true, "Println": true,

@@ -11,10 +11,11 @@ import (
 // (the event or ticker silently never fires), and an unchecked Parse
 // admits malformed scenarios or topologies.
 var errCheckTargets = map[string]bool{
-	"ScheduleAt":     true,
-	"ScheduleCallAt": true,
-	"EveryAt":        true,
-	"Parse":          true,
+	"ScheduleAt":         true,
+	"ScheduleCallAt":     true,
+	"ScheduleTailCallAt": true,
+	"EveryAt":            true,
+	"Parse":              true,
 }
 
 // ErrCheckLite reports ignored errors from the target call sites: a call

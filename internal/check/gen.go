@@ -14,16 +14,18 @@ type Topo struct {
 }
 
 // GenTopology draws a topology from the generator mix: seeded random
-// graphs, rings, grids, the two-region network of Figure 1, and — when
-// maxNodes allows — the real ARPANET and MILNET maps. The same rng state
-// always yields the same topology, and Desc names the exact build.
+// graphs, rings, grids, the two-region network of Figure 1, hierarchical
+// multi-region and Waxman graphs (the sharded runner's topology classes),
+// and — when maxNodes allows — the real ARPANET and MILNET maps. The same
+// rng state always yields the same topology, and Desc names the exact
+// build.
 func GenTopology(rng *rand.Rand, maxNodes int) Topo {
 	if maxNodes < 4 {
 		maxNodes = 4
 	}
 	lts := []topology.LineType{topology.T9_6, topology.T56, topology.S56, topology.T112}
 	for {
-		switch rng.Intn(8) {
+		switch rng.Intn(10) {
 		case 0, 1, 2:
 			n := 4 + rng.Intn(maxNodes-3)
 			deg := 1.5 + 2*rng.Float64()
@@ -53,6 +55,25 @@ func GenTopology(rng *rand.Rand, maxNodes int) Topo {
 		case 6:
 			if maxNodes >= 30 { // the July-1987-like map has 30 PSNs
 				return Topo{Desc: "arpanet", G: topology.Arpanet()}
+			}
+		case 7:
+			regions := 2 + rng.Intn(4)
+			per := 3 + rng.Intn(6)
+			if regions*per <= maxNodes {
+				seed := rng.Int63()
+				return Topo{
+					Desc: fmt.Sprintf("hier(r=%d per=%d seed=%d)", regions, per, seed),
+					G:    topology.Hierarchical(regions, per, seed),
+				}
+			}
+		case 8:
+			n := 4 + rng.Intn(maxNodes-3)
+			alpha := 0.3 + 0.5*rng.Float64()
+			beta := 0.05 + 0.3*rng.Float64()
+			seed := rng.Int63()
+			return Topo{
+				Desc: fmt.Sprintf("waxman(n=%d a=%.2f b=%.2f seed=%d)", n, alpha, beta, seed),
+				G:    topology.Waxman(n, alpha, beta, seed, lts...),
 			}
 		default:
 			if maxNodes >= 26 { // the MILNET map has 26 PSNs

@@ -37,6 +37,23 @@ func (c Conservation) Balanced() bool {
 	return c.Offered == c.Delivered+c.BufferDrops+c.LoopDrops+c.NoRouteDrops+c.OutageDrops+c.InFlight
 }
 
+// Plus returns the component-wise sum of two ledgers. The sharded runner
+// composes its per-shard custody ledgers into one global Conservation with
+// it: export/import counters cancel in the sum (every exported packet is
+// imported exactly once or still on the wire), so the composed ledger obeys
+// the same Balanced identity as a single-kernel run.
+func (c Conservation) Plus(d Conservation) Conservation {
+	return Conservation{
+		Offered:      c.Offered + d.Offered,
+		Delivered:    c.Delivered + d.Delivered,
+		BufferDrops:  c.BufferDrops + d.BufferDrops,
+		LoopDrops:    c.LoopDrops + d.LoopDrops,
+		NoRouteDrops: c.NoRouteDrops + d.NoRouteDrops,
+		OutageDrops:  c.OutageDrops + d.OutageDrops,
+		InFlight:     c.InFlight + d.InFlight,
+	}
+}
+
 // Err returns nil when balanced, or an error naming the imbalance.
 func (c Conservation) Err() error {
 	if c.Balanced() {

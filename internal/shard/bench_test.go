@@ -1,0 +1,71 @@
+package shard
+
+// Sharded-throughput benchmarks, mirroring the root package's
+// BenchmarkSimPacketsPerSec metrics: pkts/sec is offered packets per
+// wall-clock second, events/sec is kernel events fired per wall-clock
+// second. The simulation persists across iterations (each iteration
+// extends the run by a fixed simulated slice), so the numbers measure the
+// steady state, not setup.
+//
+// The workload is a 1024-node hierarchical topology with neighbor-local
+// traffic (DestRadius 1, ~1 hop per packet, 3 kernel events per packet):
+// the configuration that measures the sharded runner's own per-packet
+// overhead — source, transmit, drain, barrier — rather than route length.
+// It is NOT comparable to the root package's BenchmarkSimPacketsPerSec,
+// which runs the full adaptive-routing model (~13 events per packet) on
+// the 59-node ARPANET; see BENCH_4.json's notes for the honest read.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func benchThroughput(b *testing.B, shards int) {
+	g := topology.Hierarchical(16, 64, 7)
+	cfg := Config{
+		Graph:      g,
+		Shards:     shards,
+		Seed:       7,
+		PktRate:    50,
+		Dests:      4,
+		DestRadius: 1,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const warm = 500 * sim.Millisecond
+	const slice = 200 * sim.Millisecond
+	s.Run(warm)
+	startPkts := s.Generated()
+	startEv := s.Fired()
+	b.ReportAllocs()
+	b.ResetTimer()
+	until := warm
+	for i := 0; i < b.N; i++ {
+		until += slice
+		s.Run(until)
+	}
+	b.StopTimer()
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(s.Generated()-startPkts)/el, "pkts/sec")
+		b.ReportMetric(float64(s.Fired()-startEv)/el, "events/sec")
+	}
+	if s.Generated() == startPkts {
+		b.Fatal("no traffic generated")
+	}
+	if err := s.Audit(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkShardedPacketsPerSec is the acceptance benchmark: the 1024-node
+// workload at 4 shards.
+func BenchmarkShardedPacketsPerSec(b *testing.B) { benchThroughput(b, 4) }
+
+// BenchmarkShardedPacketsPerSec1 is the same workload on a single kernel —
+// the honest baseline for judging the sharding overhead (on a 1-CPU host
+// the 4-shard number buys no parallelism, only windowed batching).
+func BenchmarkShardedPacketsPerSec1(b *testing.B) { benchThroughput(b, 1) }

@@ -1,0 +1,72 @@
+package shard
+
+// Per-shard packet custody ledger. Each shard tracks its own packets with
+// two extra classes a single-kernel simulation does not need: Exported
+// (handed to another shard's wire) and Imported (received over one). The
+// per-shard identity
+//
+//	Generated + Imported == Delivered + drops + Exported + InFlight
+//
+// holds at every barrier, and composing all shards (network.Conservation.Plus)
+// cancels the export/import terms so the global ledger obeys the classic
+// single-kernel conservation identity.
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// Ledger is one shard's packet custody record.
+type Ledger struct {
+	Generated    int64
+	Imported     int64
+	Delivered    int64
+	BufferDrops  int64
+	NoRouteDrops int64
+	LoopDrops    int64
+	OutageDrops  int64
+	Exported     int64
+	InFlight     int64 // snapshot: queued, transmitting, or awaiting drain
+}
+
+// Balanced reports whether the shard's custody books balance.
+func (l Ledger) Balanced() bool {
+	return l.Generated+l.Imported ==
+		l.Delivered+l.BufferDrops+l.NoRouteDrops+l.LoopDrops+l.OutageDrops+l.Exported+l.InFlight
+}
+
+// Err returns nil when balanced, or an error naming the imbalance.
+func (l Ledger) Err() error {
+	if l.Balanced() {
+		return nil
+	}
+	in := l.Generated + l.Imported
+	out := l.Delivered + l.BufferDrops + l.NoRouteDrops + l.LoopDrops + l.OutageDrops + l.Exported + l.InFlight
+	return fmt.Errorf("shard ledger violated: in %d != out %d (missing %d): %+v", in, out, in-out, l)
+}
+
+// Conservation converts the shard ledger into the network package's global
+// ledger shape: exported packets count as in flight (they are on a wire or
+// in a neighbour shard's future), imported packets are deducted from that
+// same in-flight term since the neighbour already exported them.
+func (l Ledger) Conservation() network.Conservation {
+	return network.Conservation{
+		Offered:      l.Generated,
+		Delivered:    l.Delivered,
+		BufferDrops:  l.BufferDrops,
+		LoopDrops:    l.LoopDrops,
+		NoRouteDrops: l.NoRouteDrops,
+		OutageDrops:  l.OutageDrops,
+		InFlight:     l.InFlight + l.Exported - l.Imported,
+	}
+}
+
+// Compose folds per-shard ledgers into one global conservation ledger.
+func Compose(ledgers []Ledger) network.Conservation {
+	var c network.Conservation
+	for _, l := range ledgers {
+		c = c.Plus(l.Conservation())
+	}
+	return c
+}

@@ -1,0 +1,276 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func testGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	return topology.Hierarchical(4, 8, 11)
+}
+
+func testConfig(g *topology.Graph, shards int) Config {
+	return Config{
+		Graph:         g,
+		Shards:        shards,
+		Seed:          99,
+		PktRate:       2.0,
+		Dests:         3,
+		MeasurePeriod: 2 * sim.Second,
+		MeasureSample: 4,
+		TraceDrops:    true,
+	}
+}
+
+func TestPartition(t *testing.T) {
+	g := testGraph(t)
+	n := g.NumNodes()
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		part := Partition(g, shards)
+		if len(part) != n {
+			t.Fatalf("shards=%d: partition covers %d nodes, want %d", shards, len(part), n)
+		}
+		count := make([]int, shards)
+		for v, p := range part {
+			if p < 0 || p >= shards {
+				t.Fatalf("shards=%d: node %d assigned to %d", shards, v, p)
+			}
+			count[p]++
+		}
+		lo, hi := n, 0
+		for _, c := range count {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if lo == 0 {
+			t.Errorf("shards=%d: empty shard (sizes %v)", shards, count)
+		}
+		if hi-lo > (n+shards-1)/shards {
+			t.Errorf("shards=%d: imbalanced sizes %v", shards, count)
+		}
+		// Determinism.
+		again := Partition(g, shards)
+		for v := range part {
+			if part[v] != again[v] {
+				t.Fatalf("shards=%d: partition is not deterministic", shards)
+			}
+		}
+	}
+}
+
+// On a hierarchical graph the partitioner should cut only backbone trunks,
+// keeping the conservative lookahead at the backbone's >= 8 ms floor.
+func TestCutLookaheadHierarchical(t *testing.T) {
+	g := topology.Hierarchical(8, 16, 3)
+	part := Partition(g, 4)
+	la, found := CutLookahead(g, part)
+	if !found {
+		t.Fatal("4-way partition of a connected graph cut no links")
+	}
+	if la < sim.FromSeconds(0.008) {
+		t.Errorf("lookahead %v, want >= 8ms: partitioner cut an intra-region trunk", la)
+	}
+	if _, found := CutLookahead(g, Partition(g, 1)); found {
+		t.Error("single shard should cut nothing")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := testGraph(t)
+	good := testConfig(g, 2)
+	if _, err := New(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Graph = nil },
+		func(c *Config) { c.Shards = 0 },
+		func(c *Config) { c.Shards = g.NumNodes() + 1 },
+		func(c *Config) { c.PktRate = 0 },
+		func(c *Config) { c.Dests = 0 },
+		func(c *Config) { c.Metric = node.BF1969 },
+		func(c *Config) { c.Faults = []Fault{{Trunk: g.NumTrunks(), At: sim.Second}} },
+		func(c *Config) { c.Faults = []Fault{{Trunk: 0, At: 0}} },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig(g, 2)
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// run builds and runs one simulation to until, auditing at the end.
+func run(t *testing.T, cfg Config, until sim.Time) *Sim {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Run(until)
+	if err := s.Audit(); err != nil {
+		t.Fatalf("audit after run: %v", err)
+	}
+	return s
+}
+
+// The tentpole property: for any shard count, the merged trace and the
+// report are byte-identical and the composed ledgers agree.
+func TestDeterminismAcrossShardCounts(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(g, 1)
+	// Fault the first two backbone trunks so every code path (outage drops,
+	// epoch switches, link restore) is exercised.
+	bb := backboneTrunks(g)
+	if len(bb) < 2 {
+		t.Fatal("test graph has fewer than 2 backbone trunks")
+	}
+	cfg.Faults = []Fault{
+		{Trunk: bb[0], At: 3 * sim.Second},
+		{Trunk: bb[1], At: 5 * sim.Second},
+		{Trunk: bb[0], At: 8 * sim.Second, Up: true},
+	}
+	until := 10 * sim.Second
+
+	ref := run(t, cfg, until)
+	refTrace := ref.TraceText()
+	refReport := ref.Report().String()
+	refCons := ref.Report().Conservation
+	if ref.Generated() == 0 || ref.Report().Delivered == 0 {
+		t.Fatal("reference run moved no traffic")
+	}
+	if !strings.Contains(refTrace, "link-down") || !strings.Contains(refTrace, "link-up") {
+		t.Fatal("reference trace records no fault transitions")
+	}
+	if !strings.Contains(refTrace, "meas") {
+		t.Fatal("reference trace records no measurements")
+	}
+
+	for _, shards := range []int{2, 3, 4} {
+		c := cfg
+		c.Shards = shards
+		s := run(t, c, until)
+		var exported int64
+		for _, l := range s.Ledgers() {
+			exported += l.Exported
+		}
+		if exported == 0 {
+			t.Fatalf("shards=%d: no cross-shard traffic; the test exercises nothing", shards)
+		}
+		if got := s.TraceText(); got != refTrace {
+			t.Fatalf("shards=%d: trace differs from single-kernel run (%d vs %d bytes): %s",
+				shards, len(got), len(refTrace), firstDiff(got, refTrace))
+		}
+		if got := s.Report().String(); got != refReport {
+			t.Errorf("shards=%d: report differs:\n%s\nwant:\n%s", shards, got, refReport)
+		}
+		if got := s.Report().Conservation; got != refCons {
+			t.Errorf("shards=%d: composed conservation %+v, want %+v", shards, got, refCons)
+		}
+	}
+}
+
+// Resumed runs must land in the same state as one continuous run.
+func TestRunResume(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(g, 3)
+	one := run(t, cfg, 6*sim.Second)
+
+	split, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, at := range []sim.Time{sim.Second, 2500 * sim.Millisecond, 6 * sim.Second} {
+		split.Run(at)
+		if err := split.Audit(); err != nil {
+			t.Fatalf("audit at %v: %v", at, err)
+		}
+	}
+	if got, want := split.TraceText(), one.TraceText(); got != want {
+		t.Fatalf("resumed run trace differs: %s", firstDiff(got, want))
+	}
+	if got, want := split.Report().String(), one.Report().String(); got != want {
+		t.Errorf("resumed run report differs:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Saturate tiny queues so buffer drops appear, and check the books balance.
+func TestLedgerUnderCongestion(t *testing.T) {
+	g := topology.Hierarchical(2, 6, 5)
+	cfg := Config{
+		Graph:      g,
+		Shards:     2,
+		Seed:       1,
+		PktRate:    200,
+		Dests:      4,
+		QueueLimit: 2,
+		TraceDrops: false,
+	}
+	s := run(t, cfg, 4*sim.Second)
+	r := s.Report()
+	if r.BufferDrops == 0 {
+		t.Error("200 pkts/s/node into 2-packet queues dropped nothing")
+	}
+	if r.Delivered == 0 {
+		t.Error("nothing delivered")
+	}
+	if !r.Conservation.Balanced() {
+		t.Errorf("ledger does not balance: %+v", r.Conservation)
+	}
+}
+
+// backboneTrunks returns the trunks joining different regions of a
+// Hierarchical graph, by trunk index.
+func backboneTrunks(g *topology.Graph) []int {
+	region := func(n topology.NodeID) string {
+		name := g.Node(n).Name
+		for i := 0; i < len(name); i++ {
+			if name[i] == '.' {
+				return name[:i]
+			}
+		}
+		return name
+	}
+	var out []int
+	for tr := 0; tr < g.NumTrunks(); tr++ {
+		l := g.Link(topology.LinkID(2 * tr))
+		if region(l.From) != region(l.To) {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// firstDiff renders the first line where two strings diverge.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + itoa(i+1) + ": got " + al[i] + " | want " + bl[i]
+		}
+	}
+	return "length mismatch"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -265,6 +265,264 @@ func TestDifferentialBurstsBetweenRuns(t *testing.T) {
 	}
 }
 
+// TestDifferentialStopMidBatchThenRetune halts a RunUntil from inside a
+// same-instant batch, re-arms the peek memo via NextEventTime, then forces
+// grow-retunes with a dense burst before resuming — the PR 6 hotfix class
+// (calendar rebuilt under a live memo) combined with the halted-batch
+// resume path. The eventual fire order must match the reference heap: a
+// lost or reordered remainder of the halted batch would diverge.
+func TestDifferentialStopMidBatchThenRetune(t *testing.T) {
+	t.Parallel()
+	for seed := int64(300); seed < 308; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := New()
+		ref := &refKernel{}
+
+		var fired, refFired []int
+		var handles []Handle
+		var refHandles []*refItem
+		at := func(at Time, fn Event) int {
+			id := len(handles)
+			h, err := k.ScheduleAt(at, fn)
+			if err != nil {
+				t.Fatalf("seed %d: ScheduleAt(%v) at now=%v: %v", seed, at, k.Now(), err)
+			}
+			handles = append(handles, h)
+			refHandles = append(refHandles, ref.schedule(at-ref.now, id))
+			return id
+		}
+		rec := func(id *int) Event { return func(Time) { fired = append(fired, *id) } }
+
+		for round := 0; round < 25; round++ {
+			// A same-instant batch with a Stop planted at a random depth.
+			batchAt := k.Now() + Time(1+rng.Intn(2000))*Microsecond
+			n := 3 + rng.Intn(12)
+			stopAt := rng.Intn(n)
+			for i := 0; i < n; i++ {
+				id := new(int)
+				if i == stopAt {
+					*id = at(batchAt, func(Time) {
+						fired = append(fired, *id)
+						k.Stop()
+					})
+				} else {
+					*id = at(batchAt, rec(id))
+				}
+			}
+			deadline := batchAt + Time(rng.Intn(3000))*Microsecond
+			k.RunUntil(deadline)
+			if k.Now() != batchAt {
+				t.Fatalf("seed %d round %d: halted clock %v, want %v",
+					seed, round, k.Now(), batchAt)
+			}
+			// Memoize the earliest unfired event (possibly the batch
+			// remainder), then mutate the calendar under the live memo:
+			// a burst dense enough to force one or more grow-retunes,
+			// plus cancels of random pending events.
+			k.NextEventTime()
+			for i, m := 0, 200+rng.Intn(400); i < m; i++ {
+				id := new(int)
+				*id = at(k.Now()+Time(rng.Intn(4000))*Microsecond, rec(id))
+			}
+			for i, m := 0, rng.Intn(10); i < m; i++ {
+				// The kernel is mid-round ahead of the reference here, so a
+				// false Cancel means the event already fired; only a true
+				// Cancel may suppress the reference copy.
+				j := rng.Intn(len(handles))
+				if handles[j].Cancel() {
+					refHandles[j].stopped = true
+				}
+			}
+			k.RunUntil(deadline)
+			ref.runUntil(deadline, &refFired)
+			if len(fired) != len(refFired) {
+				t.Fatalf("seed %d round %d: fired %d events, reference fired %d",
+					seed, round, len(fired), len(refFired))
+			}
+			if k.Now() != ref.now {
+				t.Fatalf("seed %d round %d: clock %v, reference %v", seed, round, k.Now(), ref.now)
+			}
+		}
+		k.Run()
+		ref.runUntil(maxTime, &refFired)
+		for i := range fired {
+			if fired[i] != refFired[i] {
+				t.Fatalf("seed %d: fire order diverged at %d: got event %d, reference %d",
+					seed, i, fired[i], refFired[i])
+			}
+		}
+		if len(fired) != len(refFired) || k.Pending() != 0 {
+			t.Fatalf("seed %d: fired %d (reference %d), %d pending",
+				seed, len(fired), len(refFired), k.Pending())
+		}
+	}
+}
+
+// refMin returns the id of the reference's earliest live event, or -1 —
+// which identifies the kernel's memoized slot after a completed RunUntil.
+func (k *refKernel) refMin() int {
+	for len(k.queue) > 0 && k.queue[0].stopped {
+		heap.Pop(&k.queue)
+	}
+	if len(k.queue) == 0 {
+		return -1
+	}
+	return k.queue[0].id
+}
+
+// TestDifferentialCancelRescheduleAcrossGap targets the peek memo a
+// completed RunUntil leaves live: cancel exactly the memoized minimum in
+// the idle gap, reschedule replacements at the same instant, and run again.
+// A memo surviving the cancel (or missing the replacement) would fire a
+// dead slot or skip the new minimum; the reference heap has no memo to
+// corrupt.
+func TestDifferentialCancelRescheduleAcrossGap(t *testing.T) {
+	t.Parallel()
+	for seed := int64(500); seed < 508; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := New()
+		ref := &refKernel{}
+
+		var fired, refFired []int
+		var handles []Handle
+		var refHandles []*refItem
+		at := func(at Time) {
+			id := len(handles)
+			h, err := k.ScheduleAt(at, func(Time) { fired = append(fired, id) })
+			if err != nil {
+				t.Fatalf("seed %d: ScheduleAt(%v) at now=%v: %v", seed, at, k.Now(), err)
+			}
+			handles = append(handles, h)
+			refHandles = append(refHandles, ref.schedule(at-ref.now, id))
+		}
+
+		for round := 0; round < 60; round++ {
+			for i, n := 0, 1+rng.Intn(30); i < n; i++ {
+				at(k.Now() + Time(rng.Intn(2500))*Microsecond)
+			}
+			deadline := k.Now() + Time(rng.Intn(2000))*Microsecond
+			k.RunUntil(deadline) // final peek leaves a live memo beyond deadline
+			ref.runUntil(deadline, &refFired)
+
+			// Cancel the memoized minimum itself, half the time twice.
+			if min := ref.refMin(); min >= 0 {
+				handles[min].Cancel()
+				refHandles[min].stopped = true
+				if rng.Intn(2) == 0 {
+					handles[min].Cancel()
+				}
+				// Reschedule at the dead minimum's instant so the
+				// replacement must take its place at the front.
+				reAt := refHandles[min].at
+				if reAt >= k.Now() {
+					at(reAt)
+				}
+			}
+			if len(fired) != len(refFired) {
+				t.Fatalf("seed %d round %d: fired %d events, reference fired %d",
+					seed, round, len(fired), len(refFired))
+			}
+		}
+		k.Run()
+		ref.runUntil(maxTime, &refFired)
+		for i := range fired {
+			if fired[i] != refFired[i] {
+				t.Fatalf("seed %d: fire order diverged at %d: got event %d, reference %d",
+					seed, i, fired[i], refFired[i])
+			}
+		}
+		if len(fired) != len(refFired) || k.Pending() != 0 {
+			t.Fatalf("seed %d: fired %d (reference %d), %d pending",
+				seed, len(fired), len(refFired), k.Pending())
+		}
+	}
+}
+
+// TestDifferentialTickersAcrossRetune runs Every tickers through bursts
+// that force grow-retunes. The reference mirrors a ticker by rescheduling
+// its id immediately after it fires — consuming the same sequence number
+// the kernel's re-arm consumes — so any retune that dropped or reordered a
+// ticker's next occurrence diverges.
+func TestDifferentialTickersAcrossRetune(t *testing.T) {
+	t.Parallel()
+	for seed := int64(700); seed < 706; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := New()
+		ref := &refKernel{}
+
+		var fired, refFired []int
+		nTickers := 2 + rng.Intn(3)
+		tickers := make([]*Ticker, nTickers)
+		refTick := make([]*refItem, nTickers)
+		periods := make([]Time, nTickers)
+		for i := 0; i < nTickers; i++ {
+			i := i
+			periods[i] = Time(200+rng.Intn(1500)) * Microsecond
+			tickers[i] = k.Every(periods[i], func(Time) { fired = append(fired, -1-i) })
+			refTick[i] = ref.schedule(periods[i], -1-i)
+		}
+		nextID := 0
+		refStep := func() {
+			id, ok := ref.step()
+			if !ok {
+				return
+			}
+			refFired = append(refFired, id)
+			if id < 0 {
+				// A ticker: mirror the kernel's immediate re-arm.
+				refTick[-1-id] = ref.schedule(periods[-1-id], id)
+			}
+		}
+
+		for op := 0; op < 6000; op++ {
+			switch r := rng.Float64(); {
+			case r < 0.30:
+				// Dense burst instant: enough same-window events to force
+				// grow-retunes while ticker occurrences are in the buckets.
+				n := 1
+				if rng.Intn(20) == 0 {
+					n = 150 + rng.Intn(150)
+				}
+				for i := 0; i < n; i++ {
+					delay := Time(rng.Intn(3000)) * Microsecond
+					id := nextID
+					nextID++
+					k.Schedule(delay, func(Time) { fired = append(fired, id) })
+					ref.schedule(delay, id)
+				}
+			default:
+				k.Step()
+				refStep()
+			}
+		}
+		for i, tk := range tickers {
+			tk.Stop()
+			refTick[i].stopped = true
+		}
+		for k.Step() {
+		}
+		for len(ref.queue) > 0 {
+			refStep()
+		}
+
+		if len(fired) != len(refFired) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(fired), len(refFired))
+		}
+		for i := range fired {
+			if fired[i] != refFired[i] {
+				t.Fatalf("seed %d: fire order diverged at %d: got event %d, reference %d",
+					seed, i, fired[i], refFired[i])
+			}
+		}
+		if k.now != ref.now {
+			t.Fatalf("seed %d: clock %v, reference %v", seed, k.now, ref.now)
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("seed %d: %d events pending after drain", seed, k.Pending())
+		}
+	}
+}
+
 func TestDifferentialFireOrder(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		rng := rand.New(rand.NewSource(seed))

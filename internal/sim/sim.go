@@ -60,9 +60,12 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Milliseconds converts t to floating-point milliseconds.
 func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
 
-// FromSeconds converts floating-point seconds to a Time, rounding to the
-// nearest microsecond.
-func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
+// FromSeconds converts floating-point seconds to a Time, rounding half away
+// from zero to the nearest microsecond. (An earlier version added 0.5 and
+// truncated, which rounds toward zero for negative inputs: -1.4µs mapped to
+// -0 instead of -1. For non-negative inputs the two agree, so recorded
+// traces are unaffected.)
+func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
 
 // String formats the time as seconds with microsecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
@@ -284,13 +287,25 @@ func (k *Kernel) recycle(s int32) {
 // the current simulation time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
 
+// tailSeq is the high bit of an event sequence number. A tail event carries
+// it so that, at its timestamp, it sorts after every normally scheduled
+// event — including ones scheduled after it. Normal sequence numbers are
+// assigned from a counter starting at zero and can never reach the bit.
+const tailSeq = uint64(1) << 63
+
 // scheduleSlot allocates and enqueues one event; exactly one of fn and cfn
 // is non-nil. Sequence numbers are assigned in call order — the FIFO
-// tie-break for same-instant events.
-func (k *Kernel) scheduleSlot(at Time, fn Event, cfn Call, arg any) Handle {
+// tie-break for same-instant events. A tail event takes the same sequence
+// number with the tail bit set, so tail events keep FIFO order among
+// themselves while sorting after every normal event at their instant.
+func (k *Kernel) scheduleSlot(at Time, fn Event, cfn Call, arg any, tail bool) Handle {
 	s := k.allocFast()
 	k.at[s] = at
-	k.eseq[s] = k.seq
+	if tail {
+		k.eseq[s] = tailSeq | k.seq
+	} else {
+		k.eseq[s] = k.seq
+	}
 	k.seq++
 	k.fn[s], k.cfn[s], k.arg[s] = fn, cfn, arg
 	k.pending++
@@ -304,7 +319,7 @@ func (k *Kernel) ScheduleAt(at Time, fn Event) (Handle, error) {
 	if at < k.now {
 		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, k.now)
 	}
-	return k.scheduleSlot(at, fn, nil, nil), nil
+	return k.scheduleSlot(at, fn, nil, nil, false), nil
 }
 
 // Schedule schedules fn to run after delay (which may be zero). A negative
@@ -313,7 +328,7 @@ func (k *Kernel) Schedule(delay Time, fn Event) Handle {
 	if delay < 0 {
 		delay = 0
 	}
-	return k.scheduleSlot(k.now+delay, fn, nil, nil)
+	return k.scheduleSlot(k.now+delay, fn, nil, nil, false)
 }
 
 // ScheduleCallAt schedules fn(at, arg) at absolute time at. fn is typically
@@ -324,7 +339,7 @@ func (k *Kernel) ScheduleCallAt(at Time, fn Call, arg any) (Handle, error) {
 	if at < k.now {
 		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, k.now)
 	}
-	return k.scheduleSlot(at, nil, fn, arg), nil
+	return k.scheduleSlot(at, nil, fn, arg, false), nil
 }
 
 // ScheduleCall schedules fn(now, arg) after delay (which may be zero). A
@@ -333,7 +348,40 @@ func (k *Kernel) ScheduleCall(delay Time, fn Call, arg any) Handle {
 	if delay < 0 {
 		delay = 0
 	}
-	return k.scheduleSlot(k.now+delay, nil, fn, arg)
+	return k.scheduleSlot(k.now+delay, nil, fn, arg, false)
+}
+
+// ScheduleTailCallAt schedules fn(at, arg) at absolute time at, ordered
+// after every normally scheduled event with the same timestamp — including
+// ones scheduled later, from either side of the firing instant. Tail events
+// at one instant fire in schedule order among themselves. The sharded
+// runner's arrival drains rely on this: a drain must observe every
+// same-instant local action at its node, and its position in the instant
+// must not depend on *when* the arrival that armed it was scheduled —
+// which, for a cross-shard arrival, depends on the shard count.
+//
+// A non-tail event scheduled at the current instant from within a tail
+// callback still fires (the batch continues at the queue minimum), but such
+// scheduling forfeits the after-everything guarantee for the remaining tail
+// events of the instant; model code keeps every non-drain delay >= 1 tick
+// precisely so the case never arises.
+func (k *Kernel) ScheduleTailCallAt(at Time, fn Call, arg any) (Handle, error) {
+	if at < k.now {
+		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, k.now)
+	}
+	return k.scheduleSlot(at, nil, fn, arg, true), nil
+}
+
+// NextEventTime returns the timestamp of the earliest pending event, or ok
+// false when none remain. The conservative-sync shard runner calls it
+// between RunUntil windows — with every kernel idle — to agree on the next
+// global window base; it is also safe from within a callback.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	s, _, ok := k.peekNext()
+	if !ok {
+		return 0, false
+	}
+	return k.at[s], true
 }
 
 // Every schedules fn to run every period, starting after the first period.
@@ -359,7 +407,7 @@ func (k *Kernel) EveryAt(first, period Time, fn Event) (*Ticker, error) {
 		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, first, k.now)
 	}
 	t := &Ticker{k: k, period: period, fn: fn}
-	t.handle = k.scheduleSlot(first, nil, tickerFire, t)
+	t.handle = k.scheduleSlot(first, nil, tickerFire, t, false)
 	return t, nil
 }
 

@@ -1,0 +1,245 @@
+package sim
+
+// Tests for the sharding handshake surface: FromSeconds rounding (the
+// negative-input bugfix), tail-ordered events, and NextEventTime.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFromSecondsRounding pins round-half-away-from-zero for positive,
+// negative and sub-tick values. The old +0.5-then-truncate conversion
+// mis-rounded every negative input toward zero (-1.4µs → -0).
+func TestFromSecondsRounding(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want Time
+	}{
+		{0, 0},
+		{1.5, 1500 * Millisecond},
+		{-1.5, -1500 * Millisecond},
+		// Sub-tick magnitudes round to the nearest microsecond.
+		{0.4e-6, 0},
+		{0.5e-6, 1},
+		{0.6e-6, 1},
+		{-0.4e-6, 0},
+		{-0.5e-6, -1},
+		{-0.6e-6, -1},
+		// The ISSUE's example: -1.4 ticks must round to -1, not -0.
+		{-1.4e-6, -1},
+		{1.4e-6, 1},
+		{-1.6e-6, -2},
+		// Half-tick boundaries away from zero in both signs.
+		{2.5e-6, 3},
+		{-2.5e-6, -3},
+		// Plain seconds.
+		{3, 3 * Second},
+		{-3, -3 * Second},
+		{0.010001, 10001},
+		{-0.010001, -10001},
+	}
+	for _, c := range cases {
+		if got := FromSeconds(c.s); got != c.want {
+			t.Errorf("FromSeconds(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+	// Negation symmetry over random magnitudes: rounding half away from
+	// zero makes FromSeconds an odd function, which the old conversion
+	// violated for any fractional negative input.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		s := rng.Float64() * 100
+		if got, want := FromSeconds(-s), -FromSeconds(s); got != want {
+			t.Fatalf("FromSeconds(-%v) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+// TestTailOrdersAfterLaterSchedules is the property ordinary FIFO cannot
+// give: an event scheduled *after* the tail, for the same instant, still
+// fires before it.
+func TestTailOrdersAfterLaterSchedules(t *testing.T) {
+	k := New()
+	var order []string
+	add := func(tag string) Call { return func(Time, any) { order = append(order, tag) } }
+	k.Schedule(Millisecond, func(Time) { order = append(order, "early") })
+	if _, err := k.ScheduleTailCallAt(Millisecond, add("tail1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(Millisecond, func(Time) { order = append(order, "late") })
+	if _, err := k.ScheduleTailCallAt(Millisecond, add("tail2"), nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(2*Millisecond, func(Time) { order = append(order, "next-instant") })
+	k.Run()
+	want := []string{"early", "late", "tail1", "tail2", "next-instant"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestTailSchedulingMidBatch arms a tail from within the firing instant
+// itself: normal events already queued at the instant still beat it.
+func TestTailSchedulingMidBatch(t *testing.T) {
+	k := New()
+	var order []string
+	tail := func(Time, any) { order = append(order, "tail") }
+	k.Schedule(Millisecond, func(now Time) {
+		order = append(order, "a")
+		if _, err := k.ScheduleTailCallAt(now, tail, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	k.Schedule(Millisecond, func(Time) { order = append(order, "b") })
+	k.Schedule(Millisecond, func(Time) { order = append(order, "c") })
+	k.Run()
+	want := []string{"a", "b", "c", "tail"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestTailCancelAndPending checks tail events behave like normal events for
+// Handle bookkeeping.
+func TestTailCancelAndPending(t *testing.T) {
+	k := New()
+	fired := false
+	h, err := k.ScheduleTailCallAt(Millisecond, func(Time, any) { fired = true }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Pending() {
+		t.Fatal("tail event should be pending")
+	}
+	if !h.Cancel() {
+		t.Fatal("Cancel should report true")
+	}
+	if h.Pending() || h.Cancel() {
+		t.Fatal("cancelled tail event should be inert")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("cancelled tail event fired")
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain", k.Pending())
+	}
+	if _, err := k.ScheduleTailCallAt(k.Now()-1, func(Time, any) {}, nil); err == nil {
+		t.Fatal("past tail schedule should error")
+	}
+}
+
+// TestTailOrderAcrossContainers forces same-instant tails and normal events
+// through both the calendar and the overflow ladder: a far-future instant
+// populated before it is in the window (ladder) and topped up after a run
+// has re-anchored the calendar onto it.
+func TestTailOrderAcrossContainers(t *testing.T) {
+	k := New()
+	var order []int
+	rec := func(id int) Call { return func(Time, any) { order = append(order, id) } }
+	const at = 90 * Second // far beyond the initial window: ladder territory
+	if _, err := k.ScheduleTailCallAt(at, rec(100), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ScheduleCallAt(at, rec(0), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Drain everything before at: the calendar re-anchors and the ladder
+	// entries migrate into buckets.
+	k.RunUntil(at - Second)
+	if _, err := k.ScheduleCallAt(at, rec(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ScheduleTailCallAt(at, rec(101), nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	want := []int{0, 1, 100, 101}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	k := New()
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("empty kernel reported a next event")
+	}
+	h := k.Schedule(3*Millisecond, func(Time) {})
+	k.Schedule(5*Millisecond, func(Time) {})
+	if at, ok := k.NextEventTime(); !ok || at != 3*Millisecond {
+		t.Fatalf("NextEventTime() = %v, %v; want 3ms, true", at, ok)
+	}
+	// Cancelling the minimum must surface the next one, not the corpse.
+	h.Cancel()
+	if at, ok := k.NextEventTime(); !ok || at != 5*Millisecond {
+		t.Fatalf("NextEventTime() after cancel = %v, %v; want 5ms, true", at, ok)
+	}
+	// A newly scheduled earlier event replaces the memoized minimum.
+	k.Schedule(Millisecond, func(Time) {})
+	if at, ok := k.NextEventTime(); !ok || at != Millisecond {
+		t.Fatalf("NextEventTime() after earlier schedule = %v, %v; want 1ms, true", at, ok)
+	}
+	k.Run()
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("drained kernel reported a next event")
+	}
+}
+
+// TestNextEventTimeWindowHandshake exercises the shard runner's idle-time
+// protocol: RunUntil to a bounded window, read the next event time, inject
+// at-or-after it, repeat. The peek memo NextEventTime leaves behind must
+// never desynchronize the following RunUntil.
+func TestNextEventTimeWindowHandshake(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	k := New()
+	var fired []Time
+	var n int
+	cb := func(now Time, _ any) { fired = append(fired, now); n++ }
+	for i := 0; i < 50; i++ {
+		if _, err := k.ScheduleCallAt(Time(rng.Intn(2000))*Millisecond, cb, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scheduled := 50
+	for {
+		at, ok := k.NextEventTime()
+		if !ok {
+			break
+		}
+		window := at + Time(rng.Intn(50))*Millisecond
+		// Inject between the peek and the run, like a barrier delivery.
+		for i, m := 0, rng.Intn(3); i < m; i++ {
+			inj := at + Time(rng.Intn(100))*Millisecond
+			if _, err := k.ScheduleCallAt(inj, cb, nil); err != nil {
+				t.Fatal(err)
+			}
+			scheduled++
+		}
+		if at, ok = k.NextEventTime(); !ok || at < k.Now() {
+			t.Fatalf("NextEventTime() = %v, %v after injection at now=%v", at, ok, k.Now())
+		}
+		k.RunUntil(window)
+		if k.Now() < window {
+			t.Fatalf("clock %v short of window %v", k.Now(), window)
+		}
+	}
+	if n != scheduled {
+		t.Fatalf("fired %d events, scheduled %d", n, scheduled)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("fire times not monotone: %v then %v", fired[i-1], fired[i])
+		}
+	}
+}

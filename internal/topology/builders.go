@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -125,7 +126,11 @@ func Random(n int, avgDegree float64, seed int64, lts ...LineType) *Graph {
 	for i := 1; i < n; i++ {
 		g.AddTrunk(ids[i], ids[r.Intn(i)], pick())
 	}
-	wantTrunks := int(avgDegree * float64(n) / 2)
+	// Average degree d over n nodes needs ceil(d*n/2) trunks. (An earlier
+	// version truncated, which — with the n-1 spanning-tree trunks counted
+	// toward the same target — silently undershot the requested average;
+	// any avgDegree <= 2-2/n added no extra trunks at all.)
+	wantTrunks := int(math.Ceil(avgDegree * float64(n) / 2))
 	if max := n * (n - 1) / 2; wantTrunks > max {
 		wantTrunks = max
 	}

@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHierarchical(t *testing.T) {
+	g := Hierarchical(8, 16, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := g.NumNodes(); got != 8*16 {
+		t.Fatalf("NumNodes = %d, want %d", got, 8*16)
+	}
+	// Determinism: identical seed, identical graph.
+	h := Hierarchical(8, 16, 42)
+	if g.NumLinks() != h.NumLinks() {
+		t.Fatal("Hierarchical should be deterministic for a seed")
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		if g.Link(LinkID(i)) != h.Link(LinkID(i)) {
+			t.Fatal("Hierarchical should produce identical graphs for a seed")
+		}
+	}
+	// Backbone separation: every trunk between different regions has at
+	// least 8 ms propagation delay, every intra-region trunk at most 3 ms —
+	// the gap the shard partitioner's lookahead depends on.
+	region := func(n NodeID) string {
+		name := g.Node(n).Name
+		for i := 0; i < len(name); i++ {
+			if name[i] == '.' {
+				return name[:i]
+			}
+		}
+		t.Fatalf("node name %q has no region prefix", name)
+		return ""
+	}
+	backbone := 0
+	for tr := 0; tr < g.NumTrunks(); tr++ {
+		l := g.Link(LinkID(2 * tr))
+		if region(l.From) != region(l.To) {
+			backbone++
+			if l.PropDelay < 0.008 {
+				t.Errorf("backbone trunk %d has %vs propagation delay, want >= 8ms", tr, l.PropDelay)
+			}
+		} else if l.PropDelay > 0.003 {
+			t.Errorf("intra-region trunk %d has %vs propagation delay, want <= 3ms", tr, l.PropDelay)
+		}
+	}
+	if backbone < 8 {
+		t.Errorf("only %d backbone trunks for 8 regions, want >= 8", backbone)
+	}
+	if h2 := Hierarchical(8, 16, 43); h2.NumLinks() == g.NumLinks() {
+		same := true
+		for i := 0; i < g.NumLinks(); i++ {
+			if g.Link(LinkID(i)) != h2.Link(LinkID(i)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestHierarchicalProperty(t *testing.T) {
+	f := func(seed int64, r, p uint8) bool {
+		regions := 2 + int(r)%10
+		per := 3 + int(p)%20
+		g := Hierarchical(regions, per, seed)
+		return g.Validate() == nil && g.NumNodes() == regions*per
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaxman(t *testing.T) {
+	g := Waxman(100, 0.6, 0.12, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("NumNodes = %d, want 100", g.NumNodes())
+	}
+	h := Waxman(100, 0.6, 0.12, 7)
+	if g.NumLinks() != h.NumLinks() {
+		t.Fatal("Waxman should be deterministic for a seed")
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		if g.Link(LinkID(i)) != h.Link(LinkID(i)) {
+			t.Fatal("Waxman should produce identical graphs for a seed")
+		}
+	}
+	for tr := 0; tr < g.NumTrunks(); tr++ {
+		l := g.Link(LinkID(2 * tr))
+		if l.PropDelay < 0.001 || l.PropDelay > 0.001+0.014*1.4143 {
+			t.Errorf("trunk %d propagation delay %vs outside the distance-proportional range", tr, l.PropDelay)
+		}
+	}
+}
+
+// Property: every Waxman graph is connected (the stitching pass) and
+// structurally valid, across sparse and dense parameterizations.
+func TestWaxmanProperty(t *testing.T) {
+	f := func(seed int64, n, ab uint8) bool {
+		nodes := 2 + int(n)%80
+		alpha := 0.1 + float64(ab%9)*0.1
+		beta := 0.05 + float64(ab%7)*0.05
+		g := Waxman(nodes, alpha, beta, seed)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
