@@ -6,6 +6,7 @@
 //	arpanetsim                     # the before/after study
 //	arpanetsim -metric hnspf       # a single run
 //	arpanetsim -traffic 500 -seconds 900
+//	arpanetsim -background 28000   # hybrid mode: 28 Mbps fluid background
 //
 // The topology is the synthetic ARPANET-like network (see DESIGN.md); the
 // absolute numbers therefore differ from the paper's, but the comparisons
@@ -46,6 +47,12 @@ func main() {
 		rate     = flag.Float64("rate", 1.0, "per-node packet rate for -shards mode (pkts/sec)")
 		dests    = flag.Int("dests", 3, "destinations per source for -shards mode")
 		radius   = flag.Int("radius", 0, "destination locality radius in hops for -shards mode (0 = uniform)")
+		// Hybrid fluid/packet mode: the background demand is carried as
+		// fluid flows superposed onto the trunks' measured state instead of
+		// being simulated packet by packet, so Table-1 experiments run at
+		// offered loads far past what event-by-event simulation can afford.
+		backgroundK = flag.Float64("background", 0, "fluid background demand in kbps, gravity-shaped (0 = pure packet engine)")
+		bgEpochSecs = flag.Float64("background-epoch", 10, "fluid re-routing epoch in seconds (with -background)")
 	)
 	flag.Parse()
 	if *seeds < 1 {
@@ -65,6 +72,8 @@ func main() {
 	default:
 		log.Fatalf("unknown topology %q (want arpanet or milnet)", *topoName)
 	}
+	bgBPS = *backgroundK * 1000
+	bgEpoch = *bgEpochSecs
 	if topoChoice == "milnet" && *trafficK == 280 {
 		// MILNET's aggregate capacity is smaller; rescale the default load
 		// to the equivalent regime (see milnet_test.go).
@@ -194,8 +203,13 @@ func parseMetric(s string) arpanet.Metric {
 	}
 }
 
-// topoChoice selects the network for every run ("arpanet" or "milnet").
-var topoChoice = "arpanet"
+// topoChoice selects the network for every run ("arpanet" or "milnet");
+// bgBPS and bgEpoch configure the hybrid engine (0 = pure packet).
+var (
+	topoChoice = "arpanet"
+	bgBPS      float64
+	bgEpoch    float64
+)
 
 func run(m arpanet.Metric, bps, seconds, warmup float64, seed int64) arpanet.Report {
 	topo := arpanet.Arpanet1987()
@@ -205,9 +219,12 @@ func run(m arpanet.Metric, bps, seconds, warmup float64, seed int64) arpanet.Rep
 		weights = arpanet.MilnetWeights()
 	}
 	tr := topo.GravityTraffic(weights, bps)
-	s := arpanet.NewSimulation(topo, tr, arpanet.SimConfig{
-		Metric: m, Seed: seed, WarmupSeconds: warmup,
-	})
+	cfg := arpanet.SimConfig{Metric: m, Seed: seed, WarmupSeconds: warmup}
+	if bgBPS > 0 {
+		cfg.Background = topo.GravityTraffic(weights, bgBPS)
+		cfg.BackgroundEpochSeconds = bgEpoch
+	}
+	s := arpanet.NewSimulation(topo, tr, cfg)
 	s.RunSeconds(warmup + seconds)
 	return s.Report()
 }

@@ -70,6 +70,12 @@ func runScenario(path, metricName string, bps, warmup float64, seed int64, nSeed
 			Metric: metric,
 			Warmup: sim.FromSeconds(warmup),
 		}
+		if bgBPS > 0 {
+			// Hybrid mode: scripts may then use the 'surge background'
+			// directive against this fluid demand.
+			cfg.Background = traffic.Gravity(g, weights, bgBPS)
+			cfg.BackgroundEpoch = sim.FromSeconds(bgEpoch)
+		}
 		results, err := scenario.RunBatch(cfg, sc, seeds)
 		if err != nil {
 			log.Fatal(err)

@@ -16,8 +16,12 @@
 // With -against the run becomes a regression gate: every benchmark present
 // in both the input and the baseline snapshot is compared, and the command
 // exits non-zero if any slowed down by at least -max-regress (a percentage,
-// "10" or "10%"), or if a benchmark that was allocation-free in the
-// baseline now allocates. With -against and no -o, no snapshot is written —
+// "10" or "10%"), if a benchmark that was allocation-free in the baseline
+// now allocates, or if a rate metric — any custom b.ReportMetric unit
+// ending in "/sec", e.g. pkts/sec or sim-sec/sec — fell by the equivalent
+// slowdown (rates are higher-is-better; the decrease is measured on the
+// ns/op scale as (old-new)/new, so one -max-regress value governs both
+// directions). With -against and no -o, no snapshot is written —
 // gate-only mode, which is how CI uses it.
 package main
 
@@ -179,6 +183,29 @@ func gate(w io.Writer, baselinePath string, baseline, snap *Snapshot, maxRegress
 			fmt.Fprintf(w, "gate: FAIL %-39s allocs/op 0→%.0f — was allocation-free\n",
 				r.Name, r.AllocsPerOp)
 			failures++
+		}
+		// Rate metrics ("/sec" units: pkts/sec, events/sec, sim-sec/sec) are
+		// higher-is-better. The regression is measured as the equivalent
+		// time-per-work increase, (pv-nv)/nv, so it shares the ns/op gate's
+		// scale and stays meaningful under generous CI limits: a rate falling
+		// to 40% of baseline is a 150% regression, where a naive drop
+		// fraction would cap at 100% and never trip a >100% limit.
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			pv, ok := p.Metrics[k]
+			nv := r.Metrics[k]
+			if !ok || !strings.HasSuffix(k, "/sec") || pv <= 0 || nv <= 0 {
+				continue
+			}
+			if pct := (pv - nv) / nv * 100; pct >= maxRegress {
+				fmt.Fprintf(w, "gate: FAIL %-39s %s %s dropped beyond the %.6g%% limit\n",
+					r.Name, k, deltaStr(pv, nv), maxRegress)
+				failures++
+			}
 		}
 	}
 	return failures

@@ -162,6 +162,60 @@ func TestGateEdges(t *testing.T) {
 	}
 }
 
+// TestGateRateMetrics: "/sec" custom metrics are higher-is-better — a
+// drop beyond the limit fails even when ns/op is unchanged, a rise never
+// does, and non-rate metrics are ignored entirely. This is what gates the
+// hybrid engine's sim-sec/sec headline number.
+func TestGateRateMetrics(t *testing.T) {
+	baseline := &Snapshot{Benchmarks: []Result{
+		{Name: "BenchmarkHybridSimSecondsPerSec", Package: "repro", NsPerOp: 4e7,
+			Metrics: map[string]float64{"sim-sec/sec": 2000}},
+		{Name: "BenchmarkMultipathLargeFlow", Package: "repro", NsPerOp: 1e7,
+			Metrics: map[string]float64{"delivered-single": 0.63}},
+	}}
+	var buf strings.Builder
+
+	// A 50% throughput collapse at unchanged ns/op (fewer iterations hide
+	// it from the time gate) must fail, naming the metric.
+	dropped := &Snapshot{Benchmarks: []Result{
+		{Name: "BenchmarkHybridSimSecondsPerSec", Package: "repro", NsPerOp: 4e7,
+			Metrics: map[string]float64{"sim-sec/sec": 1000}},
+	}}
+	if n := gate(&buf, "b", baseline, dropped, 10); n != 1 {
+		t.Fatalf("rate drop produced %d failures, want 1:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "sim-sec/sec") {
+		t.Fatalf("failure output does not name the rate metric:\n%s", buf.String())
+	}
+
+	// The regression is (pv-nv)/nv — the equivalent slowdown — so the 10%
+	// boundary for a 2000 baseline sits at 2000/1.1: at it fails, just
+	// above passes, and a rise passes.
+	for _, tc := range []struct {
+		rate float64
+		want int
+	}{{1818, 1}, {1819, 0}, {2600, 0}} {
+		cur := &Snapshot{Benchmarks: []Result{
+			{Name: "BenchmarkHybridSimSecondsPerSec", Package: "repro", NsPerOp: 4e7,
+				Metrics: map[string]float64{"sim-sec/sec": tc.rate}},
+		}}
+		buf.Reset()
+		if n := gate(&buf, "b", baseline, cur, 10); n != tc.want {
+			t.Fatalf("rate %.0f produced %d failures, want %d:\n%s", tc.rate, n, tc.want, buf.String())
+		}
+	}
+
+	// delivered-single halving is not a "/sec" rate; the gate ignores it.
+	ratio := &Snapshot{Benchmarks: []Result{
+		{Name: "BenchmarkMultipathLargeFlow", Package: "repro", NsPerOp: 1e7,
+			Metrics: map[string]float64{"delivered-single": 0.31}},
+	}}
+	buf.Reset()
+	if n := gate(&buf, "b", baseline, ratio, 10); n != 0 {
+		t.Fatalf("non-rate metric produced %d failures, want 0:\n%s", n, buf.String())
+	}
+}
+
 func TestPrintDelta(t *testing.T) {
 	dir := t.TempDir()
 	writeSnap(t, filepath.Join(dir, "BENCH_1.json"), &Snapshot{Benchmarks: []Result{

@@ -1,6 +1,7 @@
 // Command checker runs randomized correctness campaigns against the
 // routing stack: differential SPF oracles, metric and flood invariants,
-// and scenario audits, all from internal/check.
+// scenario audits, and the hybrid fluid/packet differential, all from
+// internal/check.
 //
 //	checker -campaigns 100 -seed 1            # CI smoke
 //	checker -campaigns 5000 -seed 1 -out ./repro   # the weekly long run
@@ -105,7 +106,7 @@ func writeRepro(dir string, n int, f *check.Failure) error {
 		return err
 	}
 	ext := ".txt"
-	if f.Check == "scenario-audit" {
+	if f.Check == "scenario-audit" || f.Check == "hybrid-differential" {
 		ext = ".scn"
 	}
 	name := fmt.Sprintf("%03d-%s-seed%d%s", n, f.Check, f.Seed, ext)

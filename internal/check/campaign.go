@@ -21,8 +21,8 @@ type Options struct {
 	// identical for any worker count.
 	Workers int
 	// Trials per campaign for each pillar; zero values take the defaults
-	// (2 SPF, 2 metric, 2 flood, 1 scenario).
-	SPFTrials, MetricTrials, FloodTrials, ScenarioTrials int
+	// (2 SPF, 2 metric, 2 flood, 1 scenario, 1 hybrid).
+	SPFTrials, MetricTrials, FloodTrials, ScenarioTrials, HybridTrials int
 }
 
 func (o Options) withDefaults() Options {
@@ -43,6 +43,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ScenarioTrials == 0 {
 		o.ScenarioTrials = 1
+	}
+	if o.HybridTrials == 0 {
+		o.HybridTrials = 1
 	}
 	return o
 }
@@ -78,6 +81,9 @@ func RunCampaign(seed int64, opt Options) CampaignResult {
 	}
 	for i := 0; i < opt.ScenarioTrials; i++ {
 		record(CheckScenario(rng, seed))
+	}
+	for i := 0; i < opt.HybridTrials; i++ {
+		record(CheckHybrid(rng, seed))
 	}
 
 	var b strings.Builder

@@ -41,50 +41,55 @@ func Assign(g *topology.Graph, m *traffic.Matrix, cost spf.CostFunc) *Assignment
 		panic("flowmodel: matrix size mismatch")
 	}
 	a := &Assignment{g: g, LinkBPS: make([]float64, g.NumLinks())}
-	var hops, weight float64
-	type flowPath struct {
-		rate  float64
-		links []topology.LinkID
-	}
-	var flows []flowPath
-	for s := 0; s < g.NumNodes(); s++ {
-		src := topology.NodeID(s)
-		tree := spf.Compute(g, src, cost)
-		for d := 0; d < g.NumNodes(); d++ {
-			dst := topology.NodeID(d)
-			rate := m.Rate(src, dst)
-			if rate <= 0 {
-				continue
-			}
-			if !tree.Reachable(dst) {
-				a.Unreachable += rate
-				continue
-			}
-			path := tree.Path(g, dst)
-			for _, l := range path {
-				a.LinkBPS[l] += rate
-			}
-			hops += rate * float64(len(path))
-			weight += rate
-			flows = append(flows, flowPath{rate: rate, links: path})
+	var ws spf.Workspace
+	weight := assignInto(&ws, a.LinkBPS, &a.Unreachable, g, m, 1, cost, math.Inf(1))
+	// The rate-weighted path sums collapse onto the per-link loads by
+	// exchanging the order of summation: Σ_flows rate·|path| = Σ_links
+	// load(l), and Σ_flows rate·Σ_{l∈path} delay(l) = Σ_links load(l)·delay(l).
+	// No per-flow path storage is needed.
+	var hops, delay float64
+	for l, bps := range a.LinkBPS {
+		if bps == 0 {
+			continue
 		}
+		hops += bps
+		delay += bps * a.LinkDelay(topology.LinkID(l))
 	}
 	if weight > 0 {
 		a.HopMean = hops / weight
-	}
-	// Second pass: per-flow delay from the now-known link utilizations.
-	var delay float64
-	for _, f := range flows {
-		d := 0.0
-		for _, l := range f.links {
-			d += a.LinkDelay(l)
-		}
-		delay += f.rate * d
-	}
-	if weight > 0 {
 		a.DelayMean = delay / weight
 	}
 	return a
+}
+
+// assignInto routes m (scaled by scale) over SPF trees under cost into the
+// per-link accumulator linkBPS, reusing ws across roots so the routing pass
+// is allocation-free after warmup. Demand whose shortest path costs maxDist
+// or more (no route at all, or only a route through a penalized dead link)
+// is added to unroutable instead. Returns the total routed rate.
+func assignInto(ws *spf.Workspace, linkBPS []float64, unroutable *float64,
+	g *topology.Graph, m *traffic.Matrix, scale float64, cost spf.CostFunc, maxDist float64) float64 {
+	var weight float64
+	for s := 0; s < g.NumNodes(); s++ {
+		src := topology.NodeID(s)
+		tree := spf.ComputeInto(ws, g, src, cost)
+		for d := 0; d < g.NumNodes(); d++ {
+			dst := topology.NodeID(d)
+			rate := m.Rate(src, dst) * scale
+			if rate <= 0 {
+				continue
+			}
+			if tree.Dist(dst) >= maxDist {
+				*unroutable += rate
+				continue
+			}
+			for l := tree.Parent(dst); l != topology.NoLink; l = tree.Parent(g.Link(l).From) {
+				linkBPS[l] += rate
+			}
+			weight += rate
+		}
+	}
+	return weight
 }
 
 // Utilization returns a link's assigned utilization (may exceed 1 when the

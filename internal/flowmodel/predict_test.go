@@ -1,0 +1,58 @@
+// The simulator cross-check lives in an external test package: the hybrid
+// engine makes internal/network depend on flowmodel, so an in-package test
+// importing network would be an import cycle.
+package flowmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flowmodel"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func unit(topology.LinkID) float64 { return 1 }
+
+// The cross-check the package exists for: at light load, the flow model's
+// delay prediction matches the packet simulator within modeling error.
+func TestPredictionMatchesSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	g := topology.Arpanet()
+	m := traffic.Gravity(g, topology.ArpanetWeights(), 100000)
+
+	// Analytic prediction with min-hop routing. The M/M/1 model only holds
+	// below saturation — at higher loads the simulator drops packets and
+	// the survivors' delay diverges from the fluid prediction.
+	a := flowmodel.Assign(g, m, unit)
+	if a.MaxUtilization() > 0.85 {
+		t.Fatalf("setup: max utilization %.2f too close to saturation for the cross-check",
+			a.MaxUtilization())
+	}
+
+	// Packet simulation with the same static routes.
+	nw := network.New(network.Config{
+		Graph: g, Matrix: m, Metric: node.MinHop, Seed: 5,
+		Warmup: 60 * sim.Second,
+	})
+	nw.Run(360 * sim.Second)
+	r := nw.Report()
+
+	simOneWay := r.RoundTripDelayMs / 2 / 1000
+	t.Logf("one-way delay: model %.1f ms, simulation %.1f ms",
+		a.DelayMean*1000, simOneWay*1000)
+	t.Logf("hops: model %.2f, simulation %.2f", a.HopMean, r.ActualPathHops)
+	if math.Abs(a.HopMean-r.ActualPathHops) > 0.2 {
+		t.Errorf("hop prediction %v vs simulated %v", a.HopMean, r.ActualPathHops)
+	}
+	rel := math.Abs(a.DelayMean-simOneWay) / simOneWay
+	if rel > 0.30 {
+		t.Errorf("delay prediction off by %.0f%% (model %v, sim %v)",
+			rel*100, a.DelayMean, simOneWay)
+	}
+}

@@ -14,7 +14,9 @@ import (
 	"math/rand"
 
 	"repro/internal/flooding"
+	"repro/internal/flowmodel"
 	"repro/internal/node"
+	"repro/internal/queueing"
 	"repro/internal/sim"
 	"repro/internal/spf"
 	"repro/internal/stats"
@@ -74,6 +76,18 @@ type Config struct {
 	Multipath bool
 	// Trace, when non-nil, receives loss/routing events (bounded ring).
 	Trace *trace.Ring
+
+	// Background, when non-nil, turns on the hybrid fluid/packet engine:
+	// this matrix is modeled as fluid flows routed over the advertised
+	// link costs (re-routed every BackgroundEpoch) and superposed onto
+	// each trunk's measured delay and sampled utilization, so the metric
+	// modules see the combined load without a background packet ever being
+	// scheduled. Foreground traffic (Matrix) stays packet-level. With a
+	// nil Background the engine is bit-for-bit the pure packet simulator.
+	Background *traffic.Matrix
+	// BackgroundEpoch is the fluid re-routing period
+	// (node.MeasurementPeriod if zero). Only meaningful with Background.
+	BackgroundEpoch sim.Time
 }
 
 // Network is a running simulation. Build with New, drive with Run/RunUntil,
@@ -88,6 +102,13 @@ type Network struct {
 
 	pktSeq uint64
 	warmed bool
+
+	// Hybrid engine state (nil without cfg.Background): the fluid layer
+	// plus the cost/down views it re-routes over, built once so the epoch
+	// callback never allocates a closure.
+	fluid  *flowmodel.Fluid
+	bgCost spf.CostFunc
+	bgDown func(topology.LinkID) bool
 
 	// pool recycles packets; every terminal site of the conservation ledger
 	// releases into it, which is exactly why recycling is safe — a packet
@@ -299,6 +320,7 @@ func New(cfg Config) *Network {
 	} else {
 		n.scheduleMeasurement()
 	}
+	n.setupBackground()
 	n.scheduleSampling()
 	n.scheduleTraffic()
 	if cfg.Warmup > 0 {
@@ -326,6 +348,33 @@ func (n *Network) setupSource(p *psn) {
 	for i := range p.dstCum {
 		p.dstCum[i] /= total
 	}
+}
+
+// setupBackground builds the hybrid engine's fluid layer: the background
+// matrix is routed over the last-flooded costs (what every converged PSN's
+// database holds — so the fluid follows exactly the routes the packet
+// engine would have used), assigned once at boot and re-assigned every
+// epoch. In BF1969 mode nothing floods, so the background stays on the
+// boot-time min-hop routes; the hybrid mode is meant for the SPF metrics.
+func (n *Network) setupBackground() {
+	if n.cfg.Background == nil {
+		return
+	}
+	if n.cfg.Background.NumNodes() != n.g.NumNodes() {
+		panic("network: background matrix size does not match graph")
+	}
+	if n.cfg.BackgroundEpoch == 0 {
+		n.cfg.BackgroundEpoch = node.MeasurementPeriod
+	}
+	n.bgCost = func(l topology.LinkID) float64 { return n.links[l].lastFlooded }
+	n.bgDown = func(l topology.LinkID) bool { return n.links[l].down }
+	n.fluid = flowmodel.NewFluid(n.g, n.cfg.Background)
+	n.fluid.Reassign(n.bgCost, n.bgDown)
+	// Fire-and-forget: background re-routing runs for the lifetime of the
+	// network, like measurement and sampling.
+	_ = n.kernel.Every(n.cfg.BackgroundEpoch, func(sim.Time) {
+		n.fluid.Reassign(n.bgCost, n.bgDown)
+	})
 }
 
 // multipathTol derives the near-equality tolerance from the cheapest link
@@ -721,6 +770,9 @@ func (n *Network) measure(p *psn, now sim.Time) {
 		if ls.down {
 			continue
 		}
+		if n.fluid != nil {
+			avg = n.superpose(ls, avg)
+		}
 		if _, rep := ls.module.Update(avg); rep {
 			report = true
 		}
@@ -733,6 +785,29 @@ func (n *Network) measure(p *psn, now sim.Time) {
 	_ = n.kernel.ScheduleCall(node.MeasurementPeriod, n.measureFn, p)
 }
 
+// superpose folds the link's fluid background load into one measurement
+// period's average foreground delay, producing the delay the metric module
+// would have measured had the background been real packets. An idle period
+// (no foreground packet crossed the trunk) synthesizes the measurement the
+// background packets alone would have produced — without it a bg-loaded
+// trunk with no foreground traffic would advertise its floor cost and
+// attract every foreground flow onto its hidden congestion.
+func (n *Network) superpose(ls *linkState, avg float64) float64 {
+	bg := n.fluid.LinkBPS(ls.link.ID)
+	if bg <= 0 {
+		return avg
+	}
+	s := queueing.ServiceTime(ls.bandwidth)
+	rho := bg / ls.bandwidth
+	if avg <= 0 {
+		if rho > queueing.MaxRho {
+			rho = queueing.MaxRho
+		}
+		return queueing.MM1Delay(s, rho) + node.ProcessingDelay.Seconds()
+	}
+	return queueing.SuperposeDelay(s, avg, rho)
+}
+
 // --- utilization sampling -----------------------------------------------
 
 func (n *Network) scheduleSampling() {
@@ -742,6 +817,12 @@ func (n *Network) scheduleSampling() {
 		for _, ls := range n.links {
 			u := ls.txBitsWindow / (ls.link.Type.Bandwidth() * dt)
 			ls.txBitsWindow = 0
+			if n.fluid != nil && !ls.down {
+				// The fluid background occupies capacity the transmitter
+				// never sees; a dead trunk's stranded fluid counts nothing
+				// until the next epoch re-routes it.
+				u += n.fluid.LinkBPS(ls.link.ID) / ls.link.Type.Bandwidth()
+			}
 			if ls.series != nil {
 				ls.series.Add(now.Seconds(), u)
 			}

@@ -29,16 +29,15 @@ func MD1Delay(serviceTime, rho float64) float64 {
 //
 //	rho = 2(D−S) / (2D − S)
 //
-// Results are clamped to [0, 0.999]; delays at or below the service time
+// Results are clamped to [0, MaxRho]; delays at or below the service time
 // map to 0.
 func UtilizationFromDelayMD1(serviceTime, delay float64) float64 {
-	const maxRho = 0.999
 	if serviceTime <= 0 || delay <= serviceTime {
 		return 0
 	}
 	rho := 2 * (delay - serviceTime) / (2*delay - serviceTime)
-	if rho > maxRho {
-		return maxRho
+	if rho > MaxRho {
+		return MaxRho
 	}
 	if rho < 0 {
 		return 0

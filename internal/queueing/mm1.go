@@ -50,19 +50,49 @@ func MM1QueueLen(rho float64) float64 {
 // UtilizationFromDelay inverts MM1Delay: given a measured average delay
 // (queueing + service, excluding propagation) it estimates link utilization.
 // This is the paper's delay_to_utilization[] table. Results are clamped to
-// [0, maxRho]; delays at or below the service time map to 0.
+// [0, MaxRho]; delays at or below the service time map to 0.
 //
 // rho = 1 - S/D  (from D = S/(1-rho))
 func UtilizationFromDelay(serviceTime, delay float64) float64 {
-	const maxRho = 0.999
 	if serviceTime <= 0 || delay <= serviceTime {
 		return 0
 	}
 	rho := 1 - serviceTime/delay
-	if rho > maxRho {
-		return maxRho
+	if rho > MaxRho {
+		return MaxRho
 	}
 	return rho
+}
+
+// MaxRho is the utilization ceiling of the delay↔utilization transforms:
+// UtilizationFromDelay clamps its estimate here, and SuperposeDelay clamps
+// the combined foreground+background load here, so a saturated trunk yields
+// a large finite delay instead of an infinity that would poison the
+// metric's averaging filter.
+const MaxRho = 0.999
+
+// SuperposeDelay adds a fluid background load to a measured per-packet
+// delay: it inverts the measurement to a foreground utilization estimate
+// (the paper's delay→utilization transform), adds the background
+// utilization, clamps the total at MaxRho, and returns the measured delay
+// plus the M/M/1 queueing increment the combined load implies:
+//
+//	D' = D + S/(1-min(ρfg+ρbg, MaxRho)) - S/(1-ρfg)
+//
+// The hybrid engine feeds this to the metric modules so HN-SPF/D-SPF see
+// the combined load without a background packet ever being scheduled. A
+// non-positive background returns the measurement unchanged (bit-for-bit:
+// zero background degenerates to the pure packet path).
+func SuperposeDelay(serviceTime, measured, bgRho float64) float64 {
+	if bgRho <= 0 || serviceTime <= 0 {
+		return measured
+	}
+	fgRho := UtilizationFromDelay(serviceTime, measured)
+	total := fgRho + bgRho
+	if total > MaxRho {
+		total = MaxRho
+	}
+	return measured + MM1Delay(serviceTime, total) - MM1Delay(serviceTime, fgRho)
 }
 
 // MM1KBlocking returns the blocking (drop) probability of an M/M/1/K queue:

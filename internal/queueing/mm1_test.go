@@ -169,3 +169,64 @@ func TestTablePanics(t *testing.T) {
 	}()
 	NewTable(0, 0.001, 1)
 }
+
+func TestSuperposeDelay(t *testing.T) {
+	s := ServiceTime(56000)
+
+	// Zero or negative background returns the measurement bit-for-bit —
+	// the hybrid engine's zero-background path must degenerate exactly.
+	for _, bg := range []float64{0, -0.1} {
+		for _, d := range []float64{0, s, 3 * s, 0.25} {
+			if got := SuperposeDelay(s, d, bg); got != d {
+				t.Errorf("SuperposeDelay(s, %v, %v) = %v, want the measurement unchanged", d, bg, got)
+			}
+		}
+	}
+
+	// An idle trunk (measured delay ≈ service time, fgRho = 0) plus
+	// background rho reads exactly like an M/M/1 at rho: D' = D + S/(1-rho) - S.
+	for _, bg := range []float64{0.1, 0.5, 0.9} {
+		got := SuperposeDelay(s, s, bg)
+		want := s + MM1Delay(s, bg) - s
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("idle+bg %v: got %v, want %v", bg, got, want)
+		}
+	}
+
+	// Superposition is consistent with measuring the combined load: a trunk
+	// measured at fg=0.3 plus fluid 0.4 must report the M/M/1 delay of 0.7.
+	meas := MM1Delay(s, 0.3)
+	got := SuperposeDelay(s, meas, 0.4)
+	if want := MM1Delay(s, 0.7); math.Abs(got-want) > 1e-9 {
+		t.Errorf("fg 0.3 + bg 0.4: got %v, want MM1Delay at 0.7 = %v", got, want)
+	}
+
+	// Monotone in the background load.
+	if SuperposeDelay(s, meas, 0.5) <= SuperposeDelay(s, meas, 0.2) {
+		t.Error("more background must mean more delay")
+	}
+
+	// Saturated trunk: fg+bg past 1 clamps at MaxRho — a large *finite*
+	// delay, never an infinity that would poison the averaging filter.
+	for _, bg := range []float64{0.7, 1.0, 5.0} {
+		got := SuperposeDelay(s, MM1Delay(s, 0.8), bg)
+		want := MM1Delay(s, 0.8) + MM1Delay(s, MaxRho) - MM1Delay(s, 0.8)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("saturated superposition must stay finite, got %v", got)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("bg %v: got %v, want clamped %v", bg, got, want)
+		}
+	}
+
+	// A measurement already at the clamp gains nothing more.
+	atClamp := MM1Delay(s, MaxRho)
+	if got := SuperposeDelay(s, atClamp, 0.5); math.Abs(got-atClamp) > 1e-9 {
+		t.Errorf("already-saturated measurement: got %v, want %v", got, atClamp)
+	}
+
+	// Degenerate service time passes through.
+	if got := SuperposeDelay(0, 0.5, 0.5); got != 0.5 {
+		t.Errorf("zero service time: got %v, want 0.5", got)
+	}
+}

@@ -31,6 +31,12 @@ type Config struct {
 	Warmup     sim.Time
 	QueueLimit int
 	Multipath  bool
+	// Background and BackgroundEpoch configure the hybrid fluid/packet
+	// engine (see network.Config). Scenarios containing BackgroundSurge or
+	// SwitchBackgroundMatrix events require a non-nil Background; schedule
+	// reports the mismatch as a setup error before the run starts.
+	Background      *traffic.Matrix
+	BackgroundEpoch sim.Time
 	// Trace, when non-nil, receives the network's event ring. RunBatch
 	// ignores it: a shared ring across concurrent seeds would race.
 	Trace *trace.Ring
@@ -83,14 +89,16 @@ func Run(cfg Config, sc *Scenario) (Result, error) {
 		return Result{}, err
 	}
 	net := network.New(network.Config{
-		Graph:      cfg.Graph,
-		Matrix:     cfg.Matrix,
-		Metric:     cfg.Metric,
-		Seed:       cfg.Seed,
-		Warmup:     cfg.Warmup,
-		QueueLimit: cfg.QueueLimit,
-		Multipath:  cfg.Multipath,
-		Trace:      cfg.Trace,
+		Graph:           cfg.Graph,
+		Matrix:          cfg.Matrix,
+		Metric:          cfg.Metric,
+		Seed:            cfg.Seed,
+		Warmup:          cfg.Warmup,
+		QueueLimit:      cfg.QueueLimit,
+		Multipath:       cfg.Multipath,
+		Trace:           cfg.Trace,
+		Background:      cfg.Background,
+		BackgroundEpoch: cfg.BackgroundEpoch,
 	})
 	if cfg.Prepare != nil {
 		cfg.Prepare(net)
@@ -166,6 +174,18 @@ func (r *runner) schedule(sc *Scenario) error {
 			fire = func(sim.Time) { r.net.ScaleTraffic(ev.Factor) }
 		case SwitchMatrix:
 			fire = func(sim.Time) { r.net.SetMatrix(ev.Matrix) }
+		case BackgroundSurge:
+			if r.cfg.Background == nil {
+				return fmt.Errorf("scenario %q: %s at %v requires a background matrix (hybrid mode)",
+					sc.Name, ev.Kind, ev.At)
+			}
+			fire = func(sim.Time) { r.net.ScaleBackground(ev.Factor) }
+		case SwitchBackgroundMatrix:
+			if r.cfg.Background == nil {
+				return fmt.Errorf("scenario %q: %s at %v requires a background matrix (hybrid mode)",
+					sc.Name, ev.Kind, ev.At)
+			}
+			fire = func(sim.Time) { r.net.SetBackgroundMatrix(ev.Matrix) }
 		case Checkpoint:
 			fire = func(now sim.Time) { r.checkpoint(now) }
 		default:

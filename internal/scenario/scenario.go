@@ -49,6 +49,12 @@ const (
 	// Checkpoint runs the invariant audits at At (in addition to the
 	// periodic CheckEvery checkpoints and the final one).
 	Checkpoint
+	// BackgroundSurge multiplies the hybrid engine's fluid background
+	// demand by Factor (requires Config.Background).
+	BackgroundSurge
+	// SwitchBackgroundMatrix replaces the fluid background matrix with
+	// Matrix (requires Config.Background).
+	SwitchBackgroundMatrix
 )
 
 // String returns the script keyword for the kind.
@@ -68,6 +74,10 @@ func (k Kind) String() string {
 		return "matrix"
 	case Checkpoint:
 		return "checkpoint"
+	case BackgroundSurge:
+		return "surge background"
+	case SwitchBackgroundMatrix:
+		return "matrix background"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -141,6 +151,20 @@ func (s *Scenario) SurgeAt(at sim.Time, factor float64) *Scenario {
 	return s
 }
 
+// BackgroundSurgeAt multiplies the fluid background demand by factor at
+// time at. The run must configure a background matrix.
+func (s *Scenario) BackgroundSurgeAt(at sim.Time, factor float64) *Scenario {
+	s.Events = append(s.Events, Event{At: at, Kind: BackgroundSurge, Factor: factor})
+	return s
+}
+
+// SwitchBackgroundMatrixAt replaces the fluid background matrix at time at.
+// The run must configure a background matrix.
+func (s *Scenario) SwitchBackgroundMatrixAt(at sim.Time, m *traffic.Matrix) *Scenario {
+	s.Events = append(s.Events, Event{At: at, Kind: SwitchBackgroundMatrix, Matrix: m})
+	return s
+}
+
 // SwitchMatrixAt replaces the traffic matrix at time at.
 func (s *Scenario) SwitchMatrixAt(at sim.Time, m *traffic.Matrix) *Scenario {
 	s.Events = append(s.Events, Event{At: at, Kind: SwitchMatrix, Matrix: m})
@@ -167,11 +191,11 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario %q: %s event at %v outside [0, %v]",
 				s.Name, ev.Kind, ev.At, s.Duration)
 		}
-		if ev.Kind == Surge && ev.Factor <= 0 {
-			return fmt.Errorf("scenario %q: surge factor %v must be positive", s.Name, ev.Factor)
+		if (ev.Kind == Surge || ev.Kind == BackgroundSurge) && ev.Factor <= 0 {
+			return fmt.Errorf("scenario %q: %s factor %v must be positive", s.Name, ev.Kind, ev.Factor)
 		}
-		if ev.Kind == SwitchMatrix && ev.Matrix == nil {
-			return fmt.Errorf("scenario %q: matrix event without a matrix", s.Name)
+		if (ev.Kind == SwitchMatrix || ev.Kind == SwitchBackgroundMatrix) && ev.Matrix == nil {
+			return fmt.Errorf("scenario %q: %s event without a matrix", s.Name, ev.Kind)
 		}
 	}
 	return nil

@@ -13,10 +13,13 @@ package scenario
 //	at 100 flap SRI WISC period 4 cycles 3   # 3 down/up cycles, 4 s period
 //	at 150 restart LBL for 30        # every trunk at LBL down for 30 s
 //	at 250 surge 1.5                 # multiply every source rate by 1.5
+//	at 260 surge background 2        # double the fluid background demand
 //	at 300 checkpoint                # extra audit instant
 //
-// Matrix switches carry a whole traffic matrix and have no script syntax;
-// use Scenario.SwitchMatrixAt from code.
+// Matrix switches (foreground and background) carry a whole traffic matrix
+// and have no script syntax; use Scenario.SwitchMatrixAt /
+// SwitchBackgroundMatrixAt from code. 'surge background' requires the run
+// to configure a background matrix (the hybrid fluid/packet mode).
 
 import (
 	"bufio"
@@ -167,14 +170,23 @@ func parseAction(sc *Scenario, at sim.Time, action string, args []string) error 
 		sc.RestartAt(at, args[0], d)
 		return nil
 	case "surge":
+		// surge FACTOR | surge background FACTOR
+		background := len(args) == 2 && args[0] == "background"
+		if background {
+			args = args[1:]
+		}
 		if len(args) != 1 {
-			return fmt.Errorf("want 'surge FACTOR'")
+			return fmt.Errorf("want 'surge FACTOR' or 'surge background FACTOR'")
 		}
 		f, err := strconv.ParseFloat(args[0], 64)
 		if err != nil || !(f > 0) || math.IsInf(f, 1) {
 			return fmt.Errorf("bad surge factor %q", args[0])
 		}
-		sc.SurgeAt(at, f)
+		if background {
+			sc.BackgroundSurgeAt(at, f)
+		} else {
+			sc.SurgeAt(at, f)
+		}
 		return nil
 	case "checkpoint":
 		if len(args) != 0 {

@@ -43,6 +43,9 @@ func (s *Scenario) Script() (string, error) {
 		case Surge:
 			fmt.Fprintf(&b, "at %s surge %s\n", formatTime(ev.At),
 				strconv.FormatFloat(ev.Factor, 'f', -1, 64))
+		case BackgroundSurge:
+			fmt.Fprintf(&b, "at %s surge background %s\n", formatTime(ev.At),
+				strconv.FormatFloat(ev.Factor, 'f', -1, 64))
 		case Checkpoint:
 			fmt.Fprintf(&b, "at %s checkpoint\n", formatTime(ev.At))
 		case NodeDown:
@@ -62,8 +65,8 @@ func (s *Scenario) Script() (string, error) {
 				formatTime(ev.At), ev.Node, formatTime(s.Events[j].At-ev.At))
 		case NodeUp:
 			return "", fmt.Errorf("node-up %q at %v has no preceding node-down", ev.Node, ev.At)
-		case SwitchMatrix:
-			return "", fmt.Errorf("matrix event at %v has no script syntax", ev.At)
+		case SwitchMatrix, SwitchBackgroundMatrix:
+			return "", fmt.Errorf("%s event at %v has no script syntax", ev.Kind, ev.At)
 		default:
 			return "", fmt.Errorf("unknown event kind %v", ev.Kind)
 		}

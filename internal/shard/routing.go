@@ -31,8 +31,8 @@ const infDist = math.MaxInt64
 
 type routing struct {
 	n       int
-	epochs  []sim.Time  // ascending; epochs[0] == 0
-	destOrd []int32     // by NodeID; ordinal into dests, -1 if not a destination
+	epochs  []sim.Time // ascending; epochs[0] == 0
+	destOrd []int32    // by NodeID; ordinal into dests, -1 if not a destination
 	dests   []topology.NodeID
 	cost    []sim.Time // per link: prop + mean transmission + processing, >= 1 tick
 	next    [][]int32  // [epoch][ord*n + node] = LinkID, -1 unreachable

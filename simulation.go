@@ -39,6 +39,16 @@ type SimConfig struct {
 	// TraceCapacity, when positive, enables the event log returned by
 	// Simulation.Trace, retaining up to this many events.
 	TraceCapacity int
+	// Background, when non-nil, enables the hybrid fluid/packet engine:
+	// this demand is not simulated packet by packet but carried as fluid
+	// flows, re-routed over the flooded costs once per epoch and superposed
+	// onto each trunk's measured utilization and delay — so the metric,
+	// flooding and rerouting see the combined load at a fraction of the
+	// event cost. It must have been built from the same Topology.
+	Background *Traffic
+	// BackgroundEpochSeconds is the fluid re-routing epoch (default 10 s,
+	// one measurement period). Only meaningful with Background set.
+	BackgroundEpochSeconds float64
 }
 
 // Simulation is a packet-level run of a network under one routing metric:
@@ -68,6 +78,13 @@ func NewSimulation(t *Topology, tr *Traffic, cfg SimConfig) *Simulation {
 		QueueLimit: cfg.QueueLimit,
 		Warmup:     sim.FromSeconds(cfg.WarmupSeconds),
 		Multipath:  cfg.Multipath,
+	}
+	if cfg.Background != nil {
+		if cfg.Background.t != t {
+			panic("arpanet: Background Traffic was built for a different Topology")
+		}
+		nc.Background = cfg.Background.m
+		nc.BackgroundEpoch = sim.FromSeconds(cfg.BackgroundEpochSeconds)
 	}
 	var ring *trace.Ring
 	if cfg.TraceCapacity > 0 {
