@@ -47,6 +47,7 @@ func main() {
 		rate     = flag.Float64("rate", 1.0, "per-node packet rate for -shards mode (pkts/sec)")
 		dests    = flag.Int("dests", 3, "destinations per source for -shards mode")
 		radius   = flag.Int("radius", 0, "destination locality radius in hops for -shards mode (0 = uniform)")
+		adaptive = flag.Bool("adaptive", false, "with -shards: route by the adaptive plane (-metric hnspf/dspf/minhop; bf1969 falls back to the unsharded engine)")
 		// Hybrid fluid/packet mode: the background demand is carried as
 		// fluid flows superposed onto the trunks' measured state instead of
 		// being simulated packet by packet, so Table-1 experiments run at
@@ -63,8 +64,11 @@ func main() {
 		if spec == "arpanet" {
 			spec = "hier:8x16" // the Table 1 maps are too small to shard usefully
 		}
-		runSharded(*shardsN, spec, *rate, *dests, *radius, *seconds, *seed)
+		runSharded(*shardsN, spec, *rate, *dests, *radius, *seconds, *seed, *adaptive, *metricName)
 		return
+	}
+	if *adaptive {
+		log.Fatal("-adaptive requires -shards (the Table 1 study is always adaptive)")
 	}
 	switch *topoName {
 	case "arpanet", "milnet":

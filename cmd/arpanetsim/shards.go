@@ -5,9 +5,14 @@ package main
 //
 //	arpanetsim -shards 4 -topology hier:32x32 -seconds 30
 //	arpanetsim -shards 2 -topology waxman:500 -rate 2 -dests 4
+//	arpanetsim -shards 4 -topology hier:32x32 -adaptive -metric hnspf
 //
-// The sharded runner uses static per-epoch routing (no adaptive metric), so
-// it reports its own summary rather than the Table 1 indicators.
+// By default the sharded runner uses static per-epoch routing; -adaptive
+// switches it to the full measurement → flood → incremental-SPF plane
+// under the chosen -metric, which is how the hier:32x32 Table-1-style
+// study in EXPERIMENTS.md is produced. BF-1969 is a distance-vector
+// protocol implemented only by the packet-level engine, so that leg runs
+// unsharded over the identical offered traffic.
 
 import (
 	"fmt"
@@ -15,9 +20,12 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/network"
+	"repro/internal/node"
 	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 // parseGenTopology builds a generated topology from a "hier:RxP" or
@@ -59,23 +67,43 @@ func parseGenTopology(spec string, seed int64) (*topology.Graph, error) {
 	}
 }
 
-func runSharded(shards int, topoSpec string, rate float64, dests, radius int, seconds float64, seed int64) {
+func runSharded(shards int, topoSpec string, rate float64, dests, radius int, seconds float64, seed int64, adaptive bool, metricName string) {
 	g, err := parseGenTopology(topoSpec, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := shard.New(shard.Config{
+	cfg := shard.Config{
 		Graph:      g,
 		Shards:     shards,
 		Seed:       seed,
 		PktRate:    rate,
 		Dests:      dests,
 		DestRadius: radius,
-	})
+	}
+	if adaptive {
+		switch metricName {
+		case "hnspf":
+			cfg.Metric = node.HNSPF
+		case "dspf", "both": // "both" is the Table-1-study default; D-SPF here
+			cfg.Metric = node.DSPF
+		case "minhop":
+			cfg.Metric = node.MinHop
+		case "bf1969":
+			runShardedBF1969(g, cfg, seconds)
+			return
+		default:
+			log.Fatalf("unknown -metric %q for -adaptive (want hnspf, dspf, minhop, or bf1969)", metricName)
+		}
+		cfg.Adaptive = true
+	}
+	s, err := shard.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("sharded run: %d nodes, %d trunks, %d shards", g.NumNodes(), g.NumTrunks(), shards)
+	if adaptive {
+		fmt.Printf(", adaptive %v", cfg.Metric)
+	}
 	if la := s.Lookahead(); la > 0 {
 		fmt.Printf(", lookahead %v", la)
 	}
@@ -86,4 +114,35 @@ func runSharded(shards int, topoSpec string, rate float64, dests, radius int, se
 	}
 	fmt.Print(s.Report().String())
 	fmt.Printf("events      %d\n", s.Fired())
+}
+
+// runShardedBF1969 is the BF-1969 leg of the large-topology study. The 1969
+// metric is distance-vector — periodic neighbor table exchanges, not
+// link-state floods — and only the packet-level engine implements it, so it
+// runs on one kernel. To stay comparable, it offers the exact traffic the
+// sharded runs do: a throwaway static shard.Sim draws the per-node
+// destination sets from the same seed, and the matrix reproduces the
+// sharded source rate exactly (network divides the matrix total by the
+// clamped mean packet size to recover pkt/s).
+func runShardedBF1969(g *topology.Graph, cfg shard.Config, seconds float64) {
+	cfg.Shards = 1
+	probe, err := shard.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := traffic.NewMatrix(g.NumNodes())
+	for id := 0; id < g.NumNodes(); id++ {
+		ds := probe.DestsOf(topology.NodeID(id))
+		for _, d := range ds {
+			m.Set(topology.NodeID(id), d, cfg.PktRate*network.ClampedMeanPktBits()/float64(len(ds)))
+		}
+	}
+	fmt.Printf("unsharded run: %d nodes, %d trunks, Bellman-Ford 1969 (distance-vector; no shard barrier)\n",
+		g.NumNodes(), g.NumTrunks())
+	n := network.New(network.Config{Graph: g, Matrix: m, Metric: node.BF1969, Seed: cfg.Seed})
+	n.Run(sim.FromSeconds(seconds))
+	if err := n.Conservation().Err(); err != nil {
+		log.Fatalf("conservation audit failed: %v", err)
+	}
+	fmt.Print(n.Report().String())
 }

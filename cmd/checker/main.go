@@ -1,6 +1,7 @@
 // Command checker runs randomized correctness campaigns against the
 // routing stack: differential SPF oracles, metric and flood invariants,
-// scenario audits, and the hybrid fluid/packet differential, all from
+// scenario audits, the hybrid fluid/packet differential, and the sharded
+// adaptive-routing differential and custody torture, all from
 // internal/check.
 //
 //	checker -campaigns 100 -seed 1            # CI smoke
@@ -106,7 +107,8 @@ func writeRepro(dir string, n int, f *check.Failure) error {
 		return err
 	}
 	ext := ".txt"
-	if f.Check == "scenario-audit" || f.Check == "hybrid-differential" {
+	switch f.Check {
+	case "scenario-audit", "hybrid-differential", "shard-differential", "shard-custody":
 		ext = ".scn"
 	}
 	name := fmt.Sprintf("%03d-%s-seed%d%s", n, f.Check, f.Seed, ext)

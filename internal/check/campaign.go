@@ -21,8 +21,10 @@ type Options struct {
 	// identical for any worker count.
 	Workers int
 	// Trials per campaign for each pillar; zero values take the defaults
-	// (2 SPF, 2 metric, 2 flood, 1 scenario, 1 hybrid).
+	// (2 SPF, 2 metric, 2 flood, 1 scenario, 1 hybrid, 1 shard
+	// differential, 1 shard custody torture).
 	SPFTrials, MetricTrials, FloodTrials, ScenarioTrials, HybridTrials int
+	ShardDiffTrials, ShardCustodyTrials                                int
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +48,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HybridTrials == 0 {
 		o.HybridTrials = 1
+	}
+	if o.ShardDiffTrials == 0 {
+		o.ShardDiffTrials = 1
+	}
+	if o.ShardCustodyTrials == 0 {
+		o.ShardCustodyTrials = 1
 	}
 	return o
 }
@@ -84,6 +92,12 @@ func RunCampaign(seed int64, opt Options) CampaignResult {
 	}
 	for i := 0; i < opt.HybridTrials; i++ {
 		record(CheckHybrid(rng, seed))
+	}
+	for i := 0; i < opt.ShardDiffTrials; i++ {
+		record(CheckShardRouting(rng, seed))
+	}
+	for i := 0; i < opt.ShardCustodyTrials; i++ {
+		record(CheckShardCustody(rng, seed))
 	}
 
 	var b strings.Builder

@@ -52,6 +52,12 @@ const (
 var clampedMeanPktBits = MinPktBits +
 	MeanPktBits*(math.Exp(-MinPktBits/MeanPktBits)-math.Exp(-MaxPktBits/MeanPktBits))
 
+// ClampedMeanPktBits is the realized mean user packet size in bits — the
+// conversion factor between a packets-per-second rate and a traffic-matrix
+// bps entry, used by callers (the shard differential, the BF-1969 study
+// leg) that must offer this engine a matrix matching a pkt/s source model.
+func ClampedMeanPktBits() float64 { return clampedMeanPktBits }
+
 // Config describes one simulation run.
 type Config struct {
 	Graph  *topology.Graph

@@ -10,6 +10,14 @@ package shard
 // holds at every barrier, and composing all shards (network.Conservation.Plus)
 // cancels the export/import terms so the global ledger obeys the classic
 // single-kernel conservation identity.
+//
+// Adaptive routing adds a second, independent custody identity over the
+// control plane. Every enqueued copy of a routing update is one control
+// packet; copies are never buffer-dropped (they head-insert) and never loop
+// (dedup kills them after one hop), so their only exits are consumption at
+// a node, outage flushes, and the wire:
+//
+//	CtrlGenerated + CtrlImported == CtrlConsumed + CtrlOutageDrops + CtrlExported + CtrlInFlight
 
 import (
 	"fmt"
@@ -28,12 +36,23 @@ type Ledger struct {
 	OutageDrops  int64
 	Exported     int64
 	InFlight     int64 // snapshot: queued, transmitting, or awaiting drain
+
+	// Control plane (routing-update copies), all zero without Config.Adaptive.
+	CtrlGenerated   int64 // copies enqueued (origination + flood forwarding)
+	CtrlImported    int64
+	CtrlConsumed    int64 // copies that reached a node and were processed or deduped
+	CtrlOutageDrops int64
+	CtrlExported    int64
+	CtrlInFlight    int64
 }
 
-// Balanced reports whether the shard's custody books balance.
+// Balanced reports whether the shard's custody books balance — the user
+// identity and the control identity independently.
 func (l Ledger) Balanced() bool {
 	return l.Generated+l.Imported ==
-		l.Delivered+l.BufferDrops+l.NoRouteDrops+l.LoopDrops+l.OutageDrops+l.Exported+l.InFlight
+		l.Delivered+l.BufferDrops+l.NoRouteDrops+l.LoopDrops+l.OutageDrops+l.Exported+l.InFlight &&
+		l.CtrlGenerated+l.CtrlImported ==
+			l.CtrlConsumed+l.CtrlOutageDrops+l.CtrlExported+l.CtrlInFlight
 }
 
 // Err returns nil when balanced, or an error naming the imbalance.
@@ -43,13 +62,20 @@ func (l Ledger) Err() error {
 	}
 	in := l.Generated + l.Imported
 	out := l.Delivered + l.BufferDrops + l.NoRouteDrops + l.LoopDrops + l.OutageDrops + l.Exported + l.InFlight
-	return fmt.Errorf("shard ledger violated: in %d != out %d (missing %d): %+v", in, out, in-out, l)
+	if in != out {
+		return fmt.Errorf("shard ledger violated: in %d != out %d (missing %d): %+v", in, out, in-out, l)
+	}
+	cin := l.CtrlGenerated + l.CtrlImported
+	cout := l.CtrlConsumed + l.CtrlOutageDrops + l.CtrlExported + l.CtrlInFlight
+	return fmt.Errorf("shard control ledger violated: in %d != out %d (missing %d): %+v", cin, cout, cin-cout, l)
 }
 
 // Conservation converts the shard ledger into the network package's global
 // ledger shape: exported packets count as in flight (they are on a wire or
 // in a neighbour shard's future), imported packets are deducted from that
-// same in-flight term since the neighbour already exported them.
+// same in-flight term since the neighbour already exported them. Control
+// copies are deliberately excluded — network.Conservation models offered
+// user traffic, and the control plane has its own identity above.
 func (l Ledger) Conservation() network.Conservation {
 	return network.Conservation{
 		Offered:      l.Generated,

@@ -3,16 +3,19 @@ package shard
 // The per-shard traffic model: Poisson sources, finite FIFO output queues,
 // store-and-forward transmission, per-link delay measurement feeding a cost
 // module, and scripted trunk faults. This is a lean replica of
-// internal/network's data plane — no adaptive routing plane — built so that
-// every event a node observes is independent of the partition (see the
-// package comment for the ordering rules it follows).
+// internal/network's data plane, built so that every event a node observes
+// is independent of the partition (see the package comment for the ordering
+// rules it follows). With Config.Adaptive the static per-epoch tables are
+// replaced by the full adaptive routing plane of adaptive.go.
 
 import (
 	"fmt"
 
+	"repro/internal/flooding"
 	"repro/internal/network"
 	"repro/internal/node"
 	"repro/internal/sim"
+	"repro/internal/spf"
 	"repro/internal/topology"
 )
 
@@ -28,6 +31,7 @@ type shardState struct {
 	recs   []rec
 	epoch  int    // routing table generation cursor (monotone in shard time)
 	outbox []wire // packets exported during the current window
+	origs  int64  // routing updates originated by this shard's nodes (adaptive)
 
 	// Bound callbacks, allocated once so the hot path closures nothing.
 	sourceCall  sim.Call
@@ -64,6 +68,17 @@ type lnode struct {
 	delivered int64
 	delaySum  float64 // seconds, accumulated in this node's event order
 	hopSum    int64
+
+	// Adaptive routing plane (nil/zero unless Config.Adaptive). All of it is
+	// node-local state driven by the node's own event order, so it inherits
+	// the partition-independence argument unchanged.
+	router    *spf.IncrementalRouter
+	dedup     *flooding.Dedup
+	seq       flooding.Sequencer
+	lastOrig  sim.Time
+	cseq      uint64            // control copies enqueued (low word of ctrl Seq)
+	fwd       []topology.LinkID // flood-forwarding scratch
+	nhScratch []topology.LinkID // next-hop diff scratch, one per dest
 }
 
 // pendArr is one arrival awaiting its drain, sorted by (at, link) — an
@@ -95,7 +110,11 @@ type llink struct {
 
 // wire is one packet in transit between shards, fully serialized: the
 // target reconstructs the packet from its own pool, so no *node.Packet ever
-// crosses a shard boundary.
+// crosses a shard boundary. Routing-update copies additionally carry their
+// payload pointer: a *flooding.Update is immutable after construction, so
+// sharing it across the barrier is value semantics — the importing shard
+// reads exactly the bytes any partitioning would read, and the barrier's
+// happens-before edges make the share race-free.
 type wire struct {
 	at      sim.Time // arrival time at the target node
 	link    topology.LinkID
@@ -105,6 +124,7 @@ type wire struct {
 	size    float64
 	created sim.Time
 	hops    int
+	upd     *flooding.Update // non-nil for routing-update copies
 }
 
 // --- setup ----------------------------------------------------------------
@@ -264,6 +284,10 @@ func (sh *shardState) source(now sim.Time, arg any) {
 
 // handlePacket delivers, drops, or forwards a packet at node n.
 func (sh *shardState) handlePacket(n *lnode, p *node.Packet, now sim.Time) {
+	if p.Update != nil {
+		sh.handleUpdate(n, p, now)
+		return
+	}
 	if p.Dst == n.id {
 		n.delivered++
 		n.delaySum += (now - p.Created).Seconds()
@@ -278,21 +302,35 @@ func (sh *shardState) handlePacket(n *lnode, p *node.Packet, now sim.Time) {
 		sh.pool.Put(p)
 		return
 	}
-	sh.epoch = sh.s.routes.epochAt(sh.epoch, now)
-	lid := sh.s.routes.nextHop(sh.epoch, p.Dst, n.id)
-	if lid < 0 {
-		sh.led.NoRouteDrops++
-		sh.dropRec(n, now, recNoRouteDrop, p.Arrival, p.Seq)
-		sh.pool.Put(p)
-		return
+	var lid topology.LinkID
+	if sh.s.cfg.Adaptive {
+		// Adaptive: the node's own SPF tree decides. A next hop onto a link
+		// this node knows to be down is "no route" (the database is stale),
+		// matching internal/network's classification.
+		lid = n.adaptiveNextHop(p.Dst)
+		if lid == topology.NoLink {
+			sh.led.NoRouteDrops++
+			sh.dropRec(n, now, recNoRouteDrop, p.Arrival, p.Seq)
+			sh.pool.Put(p)
+			return
+		}
+	} else {
+		sh.epoch = sh.s.routes.epochAt(sh.epoch, now)
+		lid = sh.s.routes.nextHop(sh.epoch, p.Dst, n.id)
+		if lid < 0 {
+			sh.led.NoRouteDrops++
+			sh.dropRec(n, now, recNoRouteDrop, p.Arrival, p.Seq)
+			sh.pool.Put(p)
+			return
+		}
+		if sh.s.linkAt[lid].down {
+			sh.led.OutageDrops++
+			sh.dropRec(n, now, recOutageDrop, lid, p.Seq)
+			sh.pool.Put(p)
+			return
+		}
 	}
 	ls := sh.s.linkAt[lid]
-	if ls.down {
-		sh.led.OutageDrops++
-		sh.dropRec(n, now, recOutageDrop, lid, p.Seq)
-		sh.pool.Put(p)
-		return
-	}
 	p.Enqueued = now
 	if !ls.q.Push(p) {
 		sh.led.BufferDrops++
@@ -352,9 +390,13 @@ func (sh *shardState) txDone(now sim.Time, arg any) {
 	} else {
 		sh.outbox = append(sh.outbox, wire{
 			at: at, link: ls.l.ID, seq: p.Seq, src: p.Src, dst: p.Dst,
-			size: p.SizeBits, created: p.Created, hops: p.Hops,
+			size: p.SizeBits, created: p.Created, hops: p.Hops, upd: p.Update,
 		})
-		sh.led.Exported++
+		if p.Update != nil {
+			sh.led.CtrlExported++
+		} else {
+			sh.led.Exported++
+		}
 		sh.pool.Put(p)
 	}
 	if !ls.down && ls.q.Len() > 0 {
@@ -372,8 +414,13 @@ func (sh *shardState) importWire(w *wire) {
 	p.Created = w.created
 	p.Hops = w.hops
 	p.Arrival = w.link
-	p.Counted = true
-	sh.led.Imported++
+	if w.upd != nil {
+		p.Update = w.upd
+		sh.led.CtrlImported++
+	} else {
+		p.Counted = true
+		sh.led.Imported++
+	}
 	sh.deliverArrival(sh.s.nodeAt[sh.s.g.Link(w.link).To], w.at, w.link, p)
 }
 
@@ -421,9 +468,14 @@ func (sh *shardState) drain(now sim.Time, arg any) {
 // --- measurement ----------------------------------------------------------
 
 // measure takes every out-link's period average, feeds the cost module, and
-// re-arms the node's tick.
+// re-arms the node's tick. In adaptive mode the reported changes also drive
+// update origination — see adaptive.go.
 func (sh *shardState) measure(now sim.Time, arg any) {
 	n := arg.(*lnode)
+	if sh.s.cfg.Adaptive {
+		sh.measureAdaptive(n, now)
+		return
+	}
 	sample := sh.s.cfg.MeasureSample
 	for _, ls := range n.out {
 		if ls.down {
@@ -452,6 +504,10 @@ type faultEv struct {
 // down aborts the in-flight transmission and flushes the queue as outage
 // drops (packets already propagating are past the cut and survive);
 // restoring it resets the measurement state, like network does on repair.
+// In adaptive mode either transition also makes the endpoint originate an
+// update advertising the new state (DownCost or the module's reset cost) —
+// the other direction's own fault event does the same at the far endpoint,
+// which is internal/network's originate-from-both-ends in per-direction form.
 func (sh *shardState) fault(now sim.Time, arg any) {
 	f := arg.(*faultEv)
 	ls := f.ls
@@ -465,6 +521,9 @@ func (sh *shardState) fault(now sim.Time, arg any) {
 		ls.module.Reset()
 		sh.recs = append(sh.recs, rec{at: now, node: n.id, seq: n.rseq, kind: recLinkUp, link: ls.l.ID})
 		n.rseq++
+		if sh.s.cfg.Adaptive {
+			sh.originate(n, now)
+		}
 		return
 	}
 	if ls.down {
@@ -478,28 +537,49 @@ func (sh *shardState) fault(now sim.Time, arg any) {
 		ls.busy = false
 		p := ls.txPkt
 		ls.txPkt = nil
-		sh.led.OutageDrops++
-		sh.dropRec(n, now, recOutageDrop, ls.l.ID, p.Seq)
-		sh.pool.Put(p)
+		sh.dropOutage(n, ls, p, now)
 	}
 	for p := ls.q.Pop(); p != nil; p = ls.q.Pop() {
-		sh.led.OutageDrops++
-		sh.dropRec(n, now, recOutageDrop, ls.l.ID, p.Seq)
-		sh.pool.Put(p)
+		sh.dropOutage(n, ls, p, now)
+	}
+	if sh.s.cfg.Adaptive {
+		ls.meas.Take() // discard the partial period, as network's SetTrunkDown does
+		sh.originate(n, now)
 	}
 }
 
-// inFlight snapshots the packets this shard holds custody of.
-func (sh *shardState) inFlight() int64 {
-	var n int64
+// dropOutage books one packet flushed by a link outage, keeping control
+// copies in their own ledger class.
+func (sh *shardState) dropOutage(n *lnode, ls *llink, p *node.Packet, now sim.Time) {
+	if p.Update != nil {
+		sh.led.CtrlOutageDrops++
+	} else {
+		sh.led.OutageDrops++
+	}
+	sh.dropRec(n, now, recOutageDrop, ls.l.ID, p.Seq)
+	sh.pool.Put(p)
+}
+
+// inFlight snapshots the packets this shard holds custody of, split into
+// user traffic and routing-update copies.
+func (sh *shardState) inFlight() (user, ctrl int64) {
+	classify := func(p *node.Packet) {
+		if p.Update != nil {
+			ctrl++
+		} else {
+			user++
+		}
+	}
 	for _, ls := range sh.links {
-		n += int64(ls.q.Len())
+		ls.q.Scan(classify)
 		if ls.txPkt != nil {
-			n++
+			classify(ls.txPkt)
 		}
 	}
 	for _, ln := range sh.nodes {
-		n += int64(len(ln.pend))
+		for i := range ln.pend {
+			classify(ln.pend[i].pkt)
+		}
 	}
-	return n
+	return user, ctrl
 }

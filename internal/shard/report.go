@@ -26,6 +26,13 @@ type Report struct {
 	AvgDelay     float64 // seconds, over delivered packets
 	AvgHops      float64
 	Conservation network.Conservation
+
+	// Control plane (all zero without Config.Adaptive).
+	Originated      int64 // routing updates flooded
+	CtrlGenerated   int64 // update copies enqueued
+	CtrlConsumed    int64
+	CtrlOutageDrops int64
+	CtrlInFlight    int64
 }
 
 // Ledgers snapshots every shard's custody ledger, in-flight terms included.
@@ -33,7 +40,7 @@ func (s *Sim) Ledgers() []Ledger {
 	out := make([]Ledger, len(s.shards))
 	for i, sh := range s.shards {
 		l := sh.led
-		l.InFlight = sh.inFlight()
+		l.InFlight, l.CtrlInFlight = sh.inFlight()
 		out[i] = l
 	}
 	return out
@@ -50,8 +57,17 @@ func (s *Sim) Report() Report {
 		r.LoopDrops += l.LoopDrops
 		r.OutageDrops += l.OutageDrops
 		r.InFlight += l.InFlight
+		r.CtrlGenerated += l.CtrlGenerated
+		r.CtrlConsumed += l.CtrlConsumed
+		r.CtrlOutageDrops += l.CtrlOutageDrops
+		r.CtrlInFlight += l.CtrlInFlight
 	}
-	r.InFlight += s.pendingWires()
+	for _, sh := range s.shards {
+		r.Originated += sh.origs
+	}
+	userWires, ctrlWires := s.pendingWireKinds()
+	r.InFlight += userWires
+	r.CtrlInFlight += ctrlWires
 	var delay float64
 	var hops, delivered int64
 	for _, n := range s.nodeAt { // global node order: float sum is partition-independent
@@ -83,6 +99,12 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "avg-delay   %.9fs\n", r.AvgDelay)
 	fmt.Fprintf(&b, "avg-hops    %.6f\n", r.AvgHops)
 	fmt.Fprintf(&b, "conserved   %v\n", r.Conservation.Balanced())
+	// The control line appears only for adaptive runs, keeping static-mode
+	// renderings (and their committed goldens) byte-identical to before.
+	if r.Originated > 0 || r.CtrlGenerated > 0 {
+		fmt.Fprintf(&b, "control     originated=%d copies=%d consumed=%d outage=%d in-flight=%d\n",
+			r.Originated, r.CtrlGenerated, r.CtrlConsumed, r.CtrlOutageDrops, r.CtrlInFlight)
+	}
 	return b.String()
 }
 
@@ -90,20 +112,27 @@ func (r Report) String() string {
 // Run invocations.
 func (s *Sim) Audit() error {
 	ledgers := s.Ledgers()
-	var exported, imported int64
+	var exported, imported, ctrlExported, ctrlImported int64
 	for i, l := range ledgers {
 		if err := l.Err(); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		exported += l.Exported
 		imported += l.Imported
+		ctrlExported += l.CtrlExported
+		ctrlImported += l.CtrlImported
 	}
 	if err := Compose(ledgers).Err(); err != nil {
 		return fmt.Errorf("composed: %w", err)
 	}
-	if onWire := exported - imported; onWire != s.pendingWires() {
+	userWires, ctrlWires := s.pendingWireKinds()
+	if onWire := exported - imported; onWire != userWires {
 		return fmt.Errorf("wire imbalance: exported-imported = %d, pending wires = %d",
-			onWire, s.pendingWires())
+			onWire, userWires)
+	}
+	if onWire := ctrlExported - ctrlImported; onWire != ctrlWires {
+		return fmt.Errorf("control wire imbalance: exported-imported = %d, pending wires = %d",
+			onWire, ctrlWires)
 	}
 	for _, sh := range s.shards {
 		for _, ls := range sh.links {

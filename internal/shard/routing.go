@@ -209,6 +209,18 @@ func (r *routing) tree(g *topology.Graph, down []bool, dist []int64, dest topolo
 
 // epochAt returns the table generation in effect at time t, given a cursor
 // hint (the caller's previous epoch) — an O(1) advance on the hot path.
+//
+// The cursor never rewinds, so correctness rests on a monotone-time
+// contract: every call through one cursor must carry a t no earlier than
+// any previous call's. The one cursor per shard (shardState.epoch) is
+// advanced only with that shard's own kernel time, which is monotone by
+// the DES invariant — across barrier windows too, since windows only ever
+// extend a shard's clock forward. A reroute decision therefore reads the
+// table generation of its forwarding instant, never of the (possibly
+// earlier) enqueue instant, which is exactly internal/network's behavior
+// of consulting live tables at forward time. Adaptive mode bypasses the
+// cursor and these tables entirely (adaptive.go). TestEpochCursor pins the
+// contract against a brute-force scan.
 func (r *routing) epochAt(hint int, t sim.Time) int {
 	for hint+1 < len(r.epochs) && r.epochs[hint+1] <= t {
 		hint++

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// scanEpoch is the brute-force oracle for epochAt: the last epoch whose
+// start time is <= t.
+func scanEpoch(epochs []sim.Time, t sim.Time) int {
+	e := 0
+	for i, at := range epochs {
+		if at <= t {
+			e = i
+		}
+	}
+	return e
+}
+
+// TestEpochCursor pins the fault-epoch cursor's contract (see epochAt's
+// doc): for ANY hint at or before the correct epoch — not just the
+// immediately preceding one — and any query time, the cursor lands exactly
+// where a linear scan does. Fault scripts are drawn with unsorted and
+// duplicate times, since buildRouting must dedup and sort them first.
+func TestEpochCursor(t *testing.T) {
+	g := topology.Arpanet()
+	rng := rand.New(rand.NewSource(20260807))
+	for trial := 0; trial < 200; trial++ {
+		var faults []Fault
+		for i := rng.Intn(8); i > 0; i-- {
+			at := sim.Time(rng.Int63n(100)) * 100 * sim.Millisecond
+			faults = append(faults, Fault{Trunk: rng.Intn(g.NumTrunks()), At: at, Up: rng.Intn(2) == 0})
+		}
+		r := buildRouting(g, faults)
+		for i := 1; i < len(r.epochs); i++ {
+			if r.epochs[i] <= r.epochs[i-1] {
+				t.Fatalf("trial %d: epochs not strictly ascending: %v", trial, r.epochs)
+			}
+		}
+		for q := 0; q < 50; q++ {
+			at := sim.Time(rng.Int63n(11 * int64(sim.Second)))
+			want := scanEpoch(r.epochs, at)
+			for hint := 0; hint <= want; hint++ {
+				if got := r.epochAt(hint, at); got != want {
+					t.Fatalf("trial %d: epochAt(%d, %v) = %d, scan says %d (epochs %v)",
+						trial, hint, at, got, want, r.epochs)
+				}
+			}
+		}
+	}
+}
+
+// TestEpochCursorMonotoneCarry replays the hot-path usage: one cursor
+// carried through a monotone event-time sequence (repeats included, as
+// simultaneous events produce) must track the scan at every step.
+func TestEpochCursorMonotoneCarry(t *testing.T) {
+	g := topology.Arpanet()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		var faults []Fault
+		for i := 1 + rng.Intn(6); i > 0; i-- {
+			faults = append(faults, Fault{
+				Trunk: rng.Intn(g.NumTrunks()),
+				At:    sim.Time(rng.Int63n(int64(10 * sim.Second))),
+				Up:    rng.Intn(2) == 0,
+			})
+		}
+		r := buildRouting(g, faults)
+		cursor, now := 0, sim.Time(0)
+		for step := 0; step < 300; step++ {
+			if rng.Intn(4) > 0 { // 1-in-4 steps repeat the same instant
+				now += sim.Time(rng.Int63n(int64(100 * sim.Millisecond)))
+			}
+			cursor = r.epochAt(cursor, now)
+			if want := scanEpoch(r.epochs, now); cursor != want {
+				t.Fatalf("trial %d step %d: carried cursor %d at %v, scan says %d (epochs %v)",
+					trial, step, cursor, now, want, r.epochs)
+			}
+		}
+	}
+}

@@ -69,6 +69,21 @@ type Config struct {
 	QueueLimit int             // per-link output buffer (default network.DefaultQueueLimit)
 	Metric     node.MetricKind // cost module for the per-link metric readings
 
+	// Adaptive switches routing from the static per-epoch tables to the full
+	// adaptive plane (see adaptive.go): each measurement period feeds the
+	// cost modules, significant changes flood routing updates over the
+	// simulated trunks (crossing shard boundaries on the wires like any
+	// other traffic), and every node forwards by its own incremental-SPF
+	// tree over the flooded costs.
+	Adaptive bool
+
+	// Partition, when non-nil, overrides the deterministic partitioner with
+	// an explicit node→shard assignment (len == NumNodes, values in
+	// [0, Shards), every shard non-empty). Any assignment must produce
+	// identical observables; the custody torture test exercises random cuts
+	// through exactly this knob.
+	Partition []int
+
 	MeasurePeriod sim.Time // link measurement interval (default node.MeasurementPeriod)
 	MeasureSample int      // trace metric readings for nodes with id%sample == 0; 0 disables
 	TraceDrops    bool     // record a trace line per dropped packet
@@ -136,9 +151,31 @@ func New(cfg Config) (*Sim, error) {
 			return nil, fmt.Errorf("shard: fault at %v precedes the run", f.At)
 		}
 	}
+	if cfg.Partition != nil {
+		if len(cfg.Partition) != g.NumNodes() {
+			return nil, fmt.Errorf("shard: Partition has %d entries for %d nodes",
+				len(cfg.Partition), g.NumNodes())
+		}
+		used := make([]bool, cfg.Shards)
+		for id, p := range cfg.Partition {
+			if p < 0 || p >= cfg.Shards {
+				return nil, fmt.Errorf("shard: Partition[%d] = %d out of range [0,%d)", id, p, cfg.Shards)
+			}
+			used[p] = true
+		}
+		for p, u := range used {
+			if !u {
+				return nil, fmt.Errorf("shard: Partition leaves shard %d empty", p)
+			}
+		}
+	}
 
 	s := &Sim{cfg: cfg, g: g}
-	s.part = Partition(g, cfg.Shards)
+	if cfg.Partition != nil {
+		s.part = append([]int(nil), cfg.Partition...)
+	} else {
+		s.part = Partition(g, cfg.Shards)
+	}
 	s.lookahead, s.hasCross = CutLookahead(g, s.part)
 	s.routes = buildRouting(g, cfg.Faults)
 	s.nodeAt = make([]*lnode, g.NumNodes())
@@ -157,9 +194,13 @@ func New(cfg Config) (*Sim, error) {
 	for id := 0; id < g.NumNodes(); id++ {
 		s.buildNode(topology.NodeID(id))
 	}
-	s.routes.finalize(g, cfg.Faults)
 	for id := 0; id < g.NumNodes(); id++ {
 		s.buildLinks(topology.NodeID(id))
+	}
+	if cfg.Adaptive {
+		s.bootAdaptive() // per-node SPF over the modules' initial costs
+	} else {
+		s.routes.finalize(g, cfg.Faults)
 	}
 	// Setup events in one canonical global order (ascending node, then the
 	// node's measurement tick, source, and fault events): within a shard,
@@ -320,3 +361,28 @@ func (s *Sim) pendingWires() int64 {
 	}
 	return n
 }
+
+// pendingWireKinds splits the pending cross-shard packets into user traffic
+// and routing-update copies, for the per-class custody audits.
+func (s *Sim) pendingWireKinds() (user, ctrl int64) {
+	for _, ws := range s.wires {
+		for i := range ws {
+			if ws[i].upd != nil {
+				ctrl++
+			} else {
+				user++
+			}
+		}
+	}
+	return user, ctrl
+}
+
+// DestsOf returns the destination set the traffic model drew for a node.
+// The differential checks use it to offer the identical traffic matrix to
+// the unsharded engine. The caller must not modify it.
+func (s *Sim) DestsOf(id topology.NodeID) []topology.NodeID { return s.nodeAt[id].dests }
+
+// LinkCost returns the cost currently advertised by the link's metric
+// module — the same observable network.LinkCost exposes, for per-trunk
+// advertised-cost time-series comparison.
+func (s *Sim) LinkCost(l topology.LinkID) float64 { return s.linkAt[l].module.Cost() }

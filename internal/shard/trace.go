@@ -26,6 +26,8 @@ const (
 	recLinkDown
 	recLinkUp
 	recMeasure
+	recOriginate // adaptive: node flooded a routing update
+	recReroute   // adaptive: an applied update changed sampled next hops
 )
 
 func (k recKind) String() string {
@@ -44,6 +46,10 @@ func (k recKind) String() string {
 		return "link-up"
 	case recMeasure:
 		return "meas"
+	case recOriginate:
+		return "originate"
+	case recReroute:
+		return "reroute"
 	default:
 		return fmt.Sprintf("rec(%d)", uint8(k))
 	}
@@ -88,6 +94,10 @@ func (s *Sim) TraceText() string {
 			fmt.Fprintf(&b, " n=%d avg=%.9f cost=%.6g", r.count, r.avg, r.cost)
 		case recLinkDown, recLinkUp:
 			// state change only
+		case recOriginate:
+			fmt.Fprintf(&b, " seq=%d links=%d", r.pkt, r.count)
+		case recReroute:
+			fmt.Fprintf(&b, " origin=%d seq=%d changed=%d", r.pkt>>32, r.pkt&0xffffffff, r.count)
 		default:
 			fmt.Fprintf(&b, " pkt=%#016x", r.pkt)
 		}
