@@ -41,6 +41,8 @@ type Diagnostic struct {
 	Hint     string         `json:"hint,omitempty"`
 	Package  string         `json:"package"` // import path of the offending package
 	Severity string         `json:"severity"`
+	// Fix, when present, is a machine-applicable remediation (see fix.go).
+	Fix *Fix `json:"fix,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -62,6 +64,13 @@ type Rule interface {
 	Check(pass *Pass)
 }
 
+// Explainer is an optional Rule extension: long-form documentation for
+// `arpanetlint -explain <rule>` — what the rule proves, what it
+// deliberately does not, and how to suppress it.
+type Explainer interface {
+	Explain() string
+}
+
 // Pass carries one package through one rule.
 type Pass struct {
 	Fset *token.FileSet
@@ -74,6 +83,11 @@ type Pass struct {
 // Report records a finding at pos. Findings in generated files are
 // dropped: the generator, not the generated text, is the thing to fix.
 func (p *Pass) Report(pos token.Pos, msg, hint string) {
+	p.ReportWithFix(pos, msg, hint, nil)
+}
+
+// ReportWithFix is Report with an attached machine-applicable fix.
+func (p *Pass) ReportWithFix(pos token.Pos, msg, hint string, fix *Fix) {
 	position := p.Fset.Position(pos)
 	if p.Pkg.Generated[position.Filename] {
 		return
@@ -88,6 +102,7 @@ func (p *Pass) Report(pos token.Pos, msg, hint string) {
 		Hint:     hint,
 		Package:  p.Pkg.Path,
 		Severity: "error",
+		Fix:      fix,
 	})
 }
 
@@ -111,6 +126,8 @@ func AllRules() []Rule {
 		&HandleCheck{},
 		&FloatExact{},
 		&ErrCheckLite{},
+		&AllocFree{},
+		&ShardSafe{},
 	}
 }
 
@@ -138,8 +155,27 @@ func RulesByName(names []string) ([]Rule, error) {
 
 // Run applies the rules to every package, filters suppressed findings,
 // and returns the survivors sorted by position. Suppressions without a
-// reason are reported under the pseudo-rule "lint".
+// reason are reported under the pseudo-rule "lint". The program for
+// interprocedural rules is built from the given packages alone; use
+// RunProgram when dependency packages are loaded and should contribute
+// effect summaries.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	return RunProgram(NewProgram(pkgs, nil), pkgs, rules)
+}
+
+// RunProgram is Run with a caller-built Program (typically spanning the
+// analyzed packages plus every loaded dependency, and optionally a
+// summary cache).
+func RunProgram(prog *Program, pkgs []*Package, rules []Rule) []Diagnostic {
+	for _, r := range rules {
+		if pr, ok := r.(ProgramRule); ok {
+			pr.Prepare(prog)
+		}
+	}
+	ranRules := map[string]bool{}
+	for _, r := range rules {
+		ranRules[r.Name()] = true
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 {
@@ -154,6 +190,13 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 		diags = append(diags, pkg.badSuppressions()...)
 	}
 	diags = filterSuppressed(diags, pkgs)
+	// Stale detection must run after filtering: a directive is live exactly
+	// when it silenced a finding above (or blessed an effect summary).
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) == 0 {
+			diags = append(diags, pkg.staleSuppressions(ranRules)...)
+		}
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -31,14 +31,74 @@ var DeterministicPackages = []string{
 // packages: wall-clock reads, the global math/rand stream, and map
 // iteration whose order can leak into ordered output or event scheduling.
 // Test files are exempt (the loader does not even load them).
-type DetDrift struct{}
+//
+// Since v2 the rule is flow-aware, built on the Program effect summaries:
+//
+//   - a call whose callee (transitively) reads the wall clock or the
+//     global rand stream is flagged at the call site when the callee lives
+//     outside the deterministic set — taint crosses package boundaries
+//     instead of stopping at the first helper;
+//   - a function that returns a slice collected from a map range without
+//     sorting is not flagged at the range (the collect-keys half of the
+//     idiom is fine) — its *callers* are flagged unless they sort the
+//     result before use, and returning it onward just defers again;
+//   - struct fields assigned wall-clock- or rand-derived values anywhere
+//     in the module are tainted, and reads of them inside deterministic
+//     packages are flagged;
+//   - feeding a map-iteration variable into a call is judged by the
+//     callee's parameter-sink summary when one exists, so passing the
+//     variable to a pure helper no longer needs a suppression.
+//
+// Laundering is recognized syntactically: a sort/slices call over the
+// collected slice after the loop (or after the producing call) clears the
+// taint. Dynamic dispatch still propagates nothing — the golden traces own
+// that residue.
+type DetDrift struct {
+	prog *Program
+}
 
 // Name implements Rule.
 func (*DetDrift) Name() string { return "detdrift" }
 
+// Prepare implements ProgramRule.
+func (d *DetDrift) Prepare(prog *Program) { d.prog = prog }
+
 // Doc implements Rule.
 func (*DetDrift) Doc() string {
 	return "no wall clock, global math/rand, or order-leaking map iteration in deterministic packages"
+}
+
+// Explain implements Explainer.
+func (*DetDrift) Explain() string {
+	return `detdrift keeps the deterministic package set byte-reproducible.
+
+Inside packages marked "// lint:deterministic" (and the built-in set),
+three sources of run-to-run drift are flagged:
+
+  - wall-clock reads (time.Now/Since/Until/Sleep and friends),
+  - the global math/rand stream (seeded per-process, shared across
+    goroutines; use a private *rand.Rand seeded from the scenario),
+  - map iteration whose order can leak into output: printing, float
+    accumulation, sends into the event queue.
+
+Since v2 the rule is interprocedural. A call to a function outside the
+deterministic set whose effect summary reaches the wall clock or the
+global stream is flagged at the call site, with a witness chain naming
+the transitive source. A field that is assigned a nondeterministic
+value anywhere in the module taints its reads. And the collect-then-
+sort idiom is recognized across functions: a function returning values
+gathered from a map range gets a RetMapOrder summary, and the
+obligation to sort transfers to each caller — callers that sort are
+clean, callers that return the slice onward defer the obligation, and
+callers that consume it unsorted are flagged. Passing a range variable
+to a callee whose parameter provably never reaches an ordered sink is
+also clean.
+
+What it does not prove: taint through interface dispatch, channels, or
+global mutable state; the golden-trace differential tests own that
+residue. Suppress with "// lint:ignore detdrift <reason>" where order
+insensitivity is a fact the analysis cannot see (e.g. integral
+counters whose addition commutes exactly).`
 }
 
 // wallClockFuncs are the package time functions that read or depend on
@@ -62,16 +122,151 @@ func (d *DetDrift) Check(pass *Pass) {
 	}
 	for _, f := range pass.Pkg.Files {
 		f := f
+		writes := writeTargets(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
 				d.checkSelector(pass, n)
+				d.checkFieldRead(pass, n, writes)
 			case *ast.RangeStmt:
 				d.checkMapRange(pass, n, f)
+			case *ast.CallExpr:
+				d.checkCallTaint(pass, n)
 			}
 			return true
 		})
+		d.checkMapOrderCalls(pass, f)
 	}
+}
+
+// checkCallTaint flags calls to functions whose effect summary reaches the
+// wall clock or the global rand stream. Callees inside the deterministic
+// set are skipped: their own body already carries the finding, and taint
+// through them is the caller's callee's problem, reported exactly once at
+// the source.
+func (d *DetDrift) checkCallTaint(pass *Pass, call *ast.CallExpr) {
+	callee := staticCallee(pass.Pkg.Info, call)
+	cs := d.prog.SummaryOf(callee)
+	if cs == nil || (!cs.WallClock && !cs.GlobalRand) {
+		return
+	}
+	if cp := d.prog.Package(callee.Pkg().Path()); cp != nil && d.applies(cp) {
+		return
+	}
+	if cs.WallClock {
+		pass.Report(call.Pos(),
+			"call to "+callee.Name()+" reaches the wall clock ("+cs.WallWitness+")",
+			"nondeterminism flows through calls; derive times from sim.Kernel.Now and pass them in as data")
+	}
+	if cs.GlobalRand {
+		pass.Report(call.Pos(),
+			"call to "+callee.Name()+" draws from the global math/rand stream ("+cs.RandWitness+")",
+			"nondeterminism flows through calls; use a seeded *rand.Rand owned by the caller")
+	}
+}
+
+// checkMapOrderCalls flags uses of results of map-ordered functions
+// (Summary.RetMapOrder) that are not laundered by a sort. Three contexts
+// defer or discharge the obligation: a discarded result (no order to
+// observe), a result returned onward (the caller inherits the summary),
+// and a result assigned to a variable that is sorted later in the file.
+func (d *DetDrift) checkMapOrderCalls(pass *Pass, f *ast.File) {
+	mapOrdered := func(call *ast.CallExpr) *types.Func {
+		callee := staticCallee(pass.Pkg.Info, call)
+		if cs := d.prog.SummaryOf(callee); cs != nil && cs.RetMapOrder {
+			return callee
+		}
+		return nil
+	}
+	handled := map[*ast.CallExpr]bool{}
+	var found []*ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || mapOrdered(call) == nil || i >= len(n.Lhs) {
+					continue
+				}
+				handled[call] = true
+				id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if ok && sortedAfter(pass, f, id, n.End()) {
+					continue // laundered
+				}
+				pass.Report(call.Pos(),
+					"result of "+calleeName(call)+" is in map-iteration order and is never sorted",
+					"sort the returned slice before it feeds anything ordered, or sort inside the producer")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+					handled[call] = true // the caller inherits RetMapOrder
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				handled[call] = true // discarded result: no order observed
+			}
+		case *ast.CallExpr:
+			if mapOrdered(n) != nil {
+				found = append(found, n)
+			}
+		}
+		return true
+	})
+	for _, call := range found {
+		if !handled[call] {
+			pass.Report(call.Pos(),
+				"result of "+calleeName(call)+" is in map-iteration order and feeds its context unsorted",
+				"assign it, sort it, then use it; map order is randomized per run")
+		}
+	}
+}
+
+// checkFieldRead flags reads of struct fields the module assigns
+// wall-clock- or rand-derived values to. writes is the set of expressions
+// that are assignment destinations in this file: a pure write to a tainted
+// field is not a read of nondeterminism (the taint is reported where the
+// value is produced).
+func (d *DetDrift) checkFieldRead(pass *Pass, sel *ast.SelectorExpr, writes map[ast.Expr]bool) {
+	if writes[sel] {
+		return
+	}
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	fieldObj, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	w := d.prog.FieldTaint(fieldKey(selection.Recv(), fieldObj))
+	if w == "" {
+		return
+	}
+	pass.Report(sel.Pos(),
+		"read of field "+exprString(sel)+" which is assigned a nondeterministic value ("+w+")",
+		"the field carries wall-clock or global-rand data into a deterministic package; plumb the value as an explicit input instead")
+}
+
+// writeTargets collects the expressions that are assignment destinations
+// anywhere in the file.
+func writeTargets(f *ast.File) map[ast.Expr]bool {
+	out := map[ast.Expr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					out[ast.Unparen(lhs)] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			out[ast.Unparen(n.X)] = true
+		}
+		return true
+	})
+	return out
 }
 
 func (d *DetDrift) applies(pkg *Package) bool {
@@ -148,9 +343,17 @@ func (d *DetDrift) checkMapRange(pass *Pass, rng *ast.RangeStmt, f *ast.File) {
 	}
 	// The canonical fix — collect the keys, sort, iterate the slice — must
 	// not itself be a finding: an append whose target is sorted later in
-	// the same function is order-insensitive by construction.
-	if id := d.appendOnlySink(pass, rng); id != nil && sortedAfter(pass, f, id, rng.End()) {
-		return
+	// the same function is order-insensitive by construction. A collected
+	// slice that is *returned* unsorted defers the obligation to the call
+	// sites instead (Summary.RetMapOrder): the producer is legal, callers
+	// must sort before use.
+	if id := d.appendOnlySink(pass, rng); id != nil {
+		if sortedAfter(pass, f, id, rng.End()) {
+			return
+		}
+		if fd := enclosingFuncDecl(f, rng.Pos()); fd != nil && returnedBy(pass.Pkg, fd, id) {
+			return
+		}
 	}
 	pass.Report(rng.Pos(),
 		"iteration over map "+exprString(rng.X)+" feeds "+sink+"; map order is randomized per run",
@@ -305,7 +508,14 @@ func (d *DetDrift) callPassesRangeVar(pass *Pass, call *ast.CallExpr, rng *ast.R
 	default:
 		return false
 	}
-	for _, arg := range call.Args {
+	// When the callee has an effect summary, trust its parameter-sink
+	// facts: an argument position proven not to reach an ordered sink
+	// cannot leak iteration order. Unresolved callees stay conservative.
+	var cs *Summary
+	if d.prog != nil {
+		cs = d.prog.SummaryOf(staticCallee(pass.Pkg.Info, call))
+	}
+	for i, arg := range call.Args {
 		found := false
 		ast.Inspect(arg, func(n ast.Node) bool {
 			if id, ok := n.(*ast.Ident); ok {
@@ -315,11 +525,31 @@ func (d *DetDrift) callPassesRangeVar(pass *Pass, call *ast.CallExpr, rng *ast.R
 			}
 			return !found
 		})
-		if found {
-			return true
+		if !found {
+			continue
 		}
+		if cs != nil {
+			j := i
+			if j >= len(cs.ParamSink) {
+				j = len(cs.ParamSink) - 1 // variadic tail
+			}
+			if j < 0 || !cs.ParamSink[j] {
+				continue // summarized: this position provably does not sink
+			}
+		}
+		return true
 	}
 	return false
+}
+
+// enclosingFuncDecl returns the function declaration containing pos.
+func enclosingFuncDecl(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
 }
 
 // calleeName extracts the simple name of a call's function.

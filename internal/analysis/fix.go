@@ -1,0 +1,158 @@
+package analysis
+
+// Machine-applicable remediation. A rule may attach a Fix to a finding:
+// a set of byte-offset text edits that remove the finding without changing
+// behavior beyond what the fix description states. cmd/arpanetlint applies
+// them with -fix (write) or -diff (dry run). Fixes are deliberately
+// limited to mechanical rewrites whose correctness is local — today that
+// is errcheck-lite's bare-statement case; findings that need judgment
+// (blanked errors in assignments, go/defer discards) carry no Fix.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TextEdit replaces the byte range [Start, End) of File (module-root
+// relative) with New. Start == End is a pure insertion.
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
+// Fix is one finding's remediation: edits that must be applied together.
+type Fix struct {
+	Description string     `json:"description"`
+	Edits       []TextEdit `json:"edits"`
+}
+
+// ApplyFixes collects every Fix among the findings and applies them to the
+// files under root, returning the new file contents keyed by root-relative
+// path and the number of fixes applied. Nothing is written to disk.
+// Overlapping edits from distinct fixes are an error: the caller should
+// re-run after applying the first batch.
+func ApplyFixes(root string, findings []Diagnostic) (map[string][]byte, int, error) {
+	type edit struct {
+		TextEdit
+		fix int // index of the owning fix, for the overlap message
+	}
+	byFile := map[string][]edit{}
+	applied := 0
+	for _, d := range findings {
+		if d.Fix == nil {
+			continue
+		}
+		applied++
+		for _, e := range d.Fix.Edits {
+			byFile[e.File] = append(byFile[e.File], edit{TextEdit: e, fix: applied})
+		}
+	}
+	if applied == 0 {
+		return nil, 0, nil
+	}
+	out := map[string][]byte{}
+	for file, edits := range byFile {
+		data, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(file)))
+		if err != nil {
+			return nil, 0, err
+		}
+		// Apply back-to-front so earlier offsets stay valid.
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start > edits[j].Start
+			}
+			return edits[i].End > edits[j].End
+		})
+		for i, e := range edits {
+			if e.Start < 0 || e.End < e.Start || e.End > len(data) {
+				return nil, 0, fmt.Errorf("fix: edit out of range in %s: [%d,%d) of %d bytes", file, e.Start, e.End, len(data))
+			}
+			if i > 0 {
+				prev := edits[i-1]
+				if e.End > prev.Start && prev.fix != e.fix {
+					return nil, 0, fmt.Errorf("fix: overlapping fixes in %s around offset %d; apply and re-run", file, e.Start)
+				}
+			}
+			data = append(data[:e.Start], append([]byte(e.New), data[e.End:]...)...)
+		}
+		out[file] = data
+	}
+	return out, applied, nil
+}
+
+// WriteFixes writes the fixed contents produced by ApplyFixes back to the
+// tree under root.
+func WriteFixes(root string, files map[string][]byte) error {
+	var names []string
+	for f := range files {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	for _, f := range names {
+		if err := os.WriteFile(filepath.Join(root, filepath.FromSlash(f)), files[f], 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DiffFixes renders a minimal unified-style diff between the on-disk files
+// and the fixed contents, for -diff dry runs.
+func DiffFixes(root string, files map[string][]byte) (string, error) {
+	var names []string
+	for f := range files {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, f := range names {
+		orig, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(f)))
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(fileDiff(f, orig, files[f]))
+	}
+	return b.String(), nil
+}
+
+// fileDiff emits one file's changed region: the differing middle after
+// trimming the common line prefix and suffix. Fix edits are local, so a
+// single hunk per file reads fine.
+func fileDiff(path string, oldB, newB []byte) string {
+	oldL := splitLines(string(oldB))
+	newL := splitLines(string(newB))
+	pre := 0
+	for pre < len(oldL) && pre < len(newL) && oldL[pre] == newL[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(oldL)-pre && suf < len(newL)-pre &&
+		oldL[len(oldL)-1-suf] == newL[len(newL)-1-suf] {
+		suf++
+	}
+	if pre == len(oldL) && pre == len(newL) {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- a/%s\n+++ b/%s\n@@ line %d @@\n", path, path, pre+1)
+	for _, l := range oldL[pre : len(oldL)-suf] {
+		b.WriteString("-" + l + "\n")
+	}
+	for _, l := range newL[pre : len(newL)-suf] {
+		b.WriteString("+" + l + "\n")
+	}
+	return b.String()
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -12,7 +12,7 @@ import (
 )
 
 // moduleRoot walks up from the test's working directory to go.mod.
-func moduleRoot(t *testing.T) string {
+func moduleRoot(t testing.TB) string {
 	t.Helper()
 	dir, err := os.Getwd()
 	if err != nil {
@@ -89,7 +89,10 @@ func parseWants(t *testing.T, root, relDir string) []*wantDiag {
 // lint:ignore silences exactly what it says.
 func TestGoldenFixtures(t *testing.T) {
 	root := moduleRoot(t)
-	for _, fixture := range []string{"detdrift", "poolsafe", "handlecheck", "floatexact", "errcheck"} {
+	for _, fixture := range []string{
+		"detdrift", "detdrift2", "poolsafe", "handlecheck", "floatexact",
+		"errcheck", "allocfree", "shardsafe", "stale",
+	} {
 		t.Run(fixture, func(t *testing.T) {
 			relDir := "internal/analysis/testdata/src/" + fixture
 			res, err := analysis.Analyze(root, []string{relDir}, nil)

@@ -139,6 +139,28 @@ func modulePath(gomod string) (string, error) {
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// All returns every package the loader has loaded so far — the pattern
+// packages and every in-module dependency they pulled in — sorted by
+// import path. The interprocedural program is built over this set so
+// effect summaries cross package boundaries.
+func (l *Loader) All() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// ReadFile reads a file's bytes as the loader sees them: overlay contents
+// win over the disk. The summary cache hashes through this.
+func (l *Loader) ReadFile(name string) ([]byte, error) {
+	if data, ok := l.Overlay[name]; ok {
+		return data, nil
+	}
+	return os.ReadFile(name)
+}
+
 // Load expands the patterns ("./...", "dir/...", or plain directories,
 // relative to the module root) and returns the matching packages in a
 // deterministic order. A package that fails to parse or type-check is

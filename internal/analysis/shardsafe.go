@@ -1,0 +1,497 @@
+package analysis
+
+// ShardSafe checks the conventions the sharded engine's correctness
+// arguments lean on. The shard package's golden-trace and conservation
+// tests catch violations *statistically* — when a run happens to cross the
+// broken path; this rule catches them structurally:
+//
+//  1. Payload immutability. A *flooding.Update is shared by pointer with
+//     every shard that imports it over a wire; any write through an
+//     Update-typed expression (field or element) inside the shard package
+//     mutates a payload another shard may already hold. Updates are
+//     immutable once published — build a fresh one instead.
+//
+//  2. The delay floor. Cross-window events must sit at least one tick in
+//     the future or the conservative-sync lookahead contract breaks.
+//     sim.FromSeconds truncates, so a FromSeconds-derived delay can be
+//     zero ticks; scheduling with such a term is flagged unless the value
+//     passed through the floor-guard idiom
+//
+//	if d < 1 { d = 1 }
+//
+//     ScheduleTailCallAt is exempt (tail events deliberately run at the
+//     current instant, after every normal event).
+//
+//  3. Custody ledger discipline. Each Ledger counter has audited terminal
+//     sites — the functions whose correctness argument in ledger.go's
+//     conservation identity accounts for that movement. Incrementing a
+//     counter anywhere else silently unbalances the books in a way the
+//     identity can no longer localize.
+//
+//  4. Control-trace sequence space. Control-packet sequence numbers are
+//     minted only in forwardUpdate and must carry ctrlSeqBit; using the
+//     bit elsewhere, or building a packet that assigns both .Update and
+//     .Seq without the bit, lets control traffic collide with the user
+//     sequence space and corrupts dedup and trace ordering.
+//
+// What the rule deliberately does not prove: delays carried through struct
+// fields (llink.propLat is validated at build time by CutLookahead), and
+// mutations behind interface or cross-package calls — the runtime ledger
+// and golden-trace tests own those. Scope is any package whose import path
+// ends in internal/shard, or any package carrying a
+//
+//	// lint:shardsafe
+//
+// file directive (fixtures). Suppress a deliberate exception with
+// "// lint:ignore shardsafe <reason>".
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// custodySites maps each Ledger counter to the functions allowed to
+// increment it — the terminal sites ledger.go's conservation identity
+// audits. Counters absent from the map (InFlight: a snapshot, assigned
+// wholesale) are not increment-tracked.
+var custodySites = map[string][]string{
+	"Generated":       {"source"},
+	"Delivered":       {"handlePacket"},
+	"LoopDrops":       {"handlePacket"},
+	"NoRouteDrops":    {"handlePacket"},
+	"BufferDrops":     {"handlePacket"},
+	"OutageDrops":     {"handlePacket", "dropOutage"},
+	"Exported":        {"txDone"},
+	"Imported":        {"importWire"},
+	"CtrlGenerated":   {"forwardUpdate"},
+	"CtrlConsumed":    {"handleUpdate"},
+	"CtrlExported":    {"txDone"},
+	"CtrlImported":    {"importWire"},
+	"CtrlOutageDrops": {"dropOutage"},
+}
+
+// ctrlMintSites are the functions allowed to touch ctrlSeqBit.
+var ctrlMintSites = map[string]bool{"forwardUpdate": true}
+
+// ShardSafe enforces the sharded engine's structural invariants; see the
+// package comment above.
+type ShardSafe struct{}
+
+// Name implements Rule.
+func (*ShardSafe) Name() string { return "shardsafe" }
+
+// Doc implements Rule.
+func (*ShardSafe) Doc() string {
+	return "shard-engine invariants: immutable exported payloads, 1-tick delay floor, audited ledger sites, reserved control seq space"
+}
+
+// Explain implements Explainer.
+func (*ShardSafe) Explain() string {
+	return `shardsafe mechanizes the shard engine's cross-barrier invariants.
+
+Four sub-checks, each the static twin of a convention the sharded
+simulator relies on for byte-identical distributed replay:
+
+  1. Exported payload immutability: a flooding.Update that has crossed
+     the shard barrier is shared by reference; any write through a
+     *flooding.Update (field, index, or nested) is flagged. Copy before
+     mutating.
+  2. 1-tick delay floor: a schedule timestamp derived from FromSeconds
+     without the "if d < 1 { d = 1 }" floor can schedule at the current
+     tick and break the conservative-sync lookahead contract.
+  3. Custody-ledger audit: each conservation counter (Generated,
+     Delivered, Exported, Imported, the drop families, and the Ctrl
+     twins) may only be incremented inside its audited site(s); an
+     increment anywhere else silently breaks the conservation identity
+     the differential tests check.
+  4. Reserved control-sequence space: ctrlSeqBit is minted only inside
+     forwardUpdate; using it elsewhere, or building a control packet
+     (.Update set) whose .Seq lacks the bit, corrupts the user/control
+     packet partition.
+
+Scope: packages with import-path suffix internal/shard, or any package
+carrying a "// lint:shardsafe" directive (fixtures). The rule does not
+do alias analysis — it matches mutation targets and counter names
+structurally — and it does not track payloads laundered through
+interface{}; the differential replay tests own that residue.
+
+Suppress with "// lint:ignore shardsafe <reason>" at the site.`
+}
+
+func (*ShardSafe) applies(pkg *Package) bool {
+	return strings.HasSuffix(pkg.Path, "internal/shard") || pkg.hasDirective("lint:shardsafe")
+}
+
+// Check implements Rule.
+func (s *ShardSafe) Check(pass *Pass) {
+	if !s.applies(pass.Pkg) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s.checkUpdateMutation(pass, fd)
+			s.checkDelayFloor(pass, fd)
+			s.checkCustody(pass, fd)
+			s.checkCtrlSeq(pass, fd)
+		}
+	}
+}
+
+// --- 1: payload immutability ---------------------------------------------
+
+// checkUpdateMutation flags any write whose destination reaches through a
+// flooding.Update-typed expression.
+func (s *ShardSafe) checkUpdateMutation(pass *Pass, fd *ast.FuncDecl) {
+	flag := func(lhs ast.Expr) {
+		if base := updateMutationBase(pass, lhs); base != nil {
+			pass.Report(lhs.Pos(),
+				"write to shared flooding.Update payload "+exprString(lhs)+
+					" — updates are immutable once published across the shard barrier",
+				"importing shards hold the same pointer; build a fresh Update instead of mutating")
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(n.X)
+		}
+		return true
+	})
+}
+
+// updateMutationBase returns the Update-typed expression a write
+// destination reaches through, or nil. Assigning an Update *pointer*
+// (w.upd = p.Update) is not a mutation; writing a field or element of the
+// pointed-to struct is.
+func updateMutationBase(pass *Pass, lhs ast.Expr) ast.Expr {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			if isFloodingUpdate(pass.TypeOf(e.X)) {
+				return e.X
+			}
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if isFloodingUpdate(pass.TypeOf(e.X)) {
+				return e.X
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			if isFloodingUpdate(pass.TypeOf(e.X)) {
+				return e.X
+			}
+			lhs = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isFloodingUpdate matches flooding.Update and *flooding.Update (by name
+// and package suffix, so fixture twins of the flooding package count too).
+func isFloodingUpdate(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return named.Obj().Name() == "Update" &&
+		(path == "flooding" || strings.HasSuffix(path, "/flooding"))
+}
+
+// --- 2: delay floor -------------------------------------------------------
+
+// scheduleTimeArg returns the timestamp argument of an absolute-time
+// scheduling call, or nil. ScheduleTailCallAt is exempt by design.
+func scheduleTimeArg(call *ast.CallExpr) ast.Expr {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return nil
+	}
+	switch name {
+	case "ScheduleAt", "ScheduleCallAt", "EveryAt":
+		if len(call.Args) > 0 {
+			return call.Args[0]
+		}
+	case "mustCallAt":
+		if len(call.Args) > 1 {
+			return call.Args[1]
+		}
+	}
+	return nil
+}
+
+// checkDelayFloor flags schedule timestamps containing a FromSeconds term
+// that never passed the floor-guard idiom.
+func (s *ShardSafe) checkDelayFloor(pass *Pass, fd *ast.FuncDecl) {
+	fromSec := map[types.Object]bool{} // locals assigned from FromSeconds
+	floored := map[types.Object]bool{} // locals that passed a floor guard
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if containsFromSeconds(pass, n.Rhs[i]) != nil {
+					fromSec[obj] = true
+				}
+			}
+		case *ast.IfStmt:
+			// Floor guard: "if d < X { d = ... }" clamps d.
+			cond, ok := n.Cond.(*ast.BinaryExpr)
+			if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+				return true
+			}
+			id, ok := ast.Unparen(cond.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			for _, st := range n.Body.List {
+				if as, ok := st.(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if lid, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.ObjectOf(lid) == obj {
+							floored[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		at := scheduleTimeArg(call)
+		if at == nil {
+			return true
+		}
+		var bad ast.Expr
+		ast.Inspect(at, func(m ast.Node) bool {
+			if bad != nil {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if fs := containsFromSeconds(pass, m); fs != nil && fs == m {
+					bad = m
+					return false
+				}
+			case *ast.Ident:
+				if obj := pass.ObjectOf(m); obj != nil && fromSec[obj] && !floored[obj] {
+					bad = m
+				}
+			}
+			return true
+		})
+		if bad != nil {
+			pass.Report(bad.Pos(),
+				"schedule timestamp uses a FromSeconds-derived delay without the 1-tick floor",
+				"FromSeconds truncates to zero ticks for small values; clamp with \"if d < 1 { d = 1 }\" before scheduling, or the lookahead contract breaks")
+		}
+		return true
+	})
+}
+
+// containsFromSeconds returns the first FromSeconds call inside e, or nil.
+func containsFromSeconds(pass *Pass, e ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "FromSeconds" {
+				found = call
+			}
+		case *ast.Ident:
+			if fun.Name == "FromSeconds" {
+				found = call
+			}
+		}
+		return found == nil
+	})
+	return found
+}
+
+// --- 3: custody ledger ----------------------------------------------------
+
+// checkCustody flags ++/--/+=/-= on an audited Ledger counter outside its
+// terminal sites.
+func (s *ShardSafe) checkCustody(pass *Pass, fd *ast.FuncDecl) {
+	check := func(lhs ast.Expr, pos token.Pos) {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if !isShardLedger(pass.TypeOf(sel.X)) {
+			return
+		}
+		allowed, audited := custodySites[sel.Sel.Name]
+		if !audited {
+			return
+		}
+		fn := fd.Name.Name
+		for _, a := range allowed {
+			if a == fn {
+				return
+			}
+		}
+		pass.Report(pos,
+			"custody counter "+sel.Sel.Name+" incremented in "+fn+
+				", outside its audited site ("+strings.Join(allowed, ", ")+")",
+			"ledger counters move only at the terminal sites the conservation identity audits; route the packet through the audited path")
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			check(n.X, n.Pos())
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+				for _, lhs := range n.Lhs {
+					check(lhs, n.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isShardLedger matches the shard custody Ledger type (by name, in a shard
+// or fixture package).
+func isShardLedger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Ledger"
+}
+
+// --- 4: control sequence space --------------------------------------------
+
+// checkCtrlSeq flags (a) any use of ctrlSeqBit outside the mint sites, and
+// (b) a block that builds a control packet — assigns both X.Update and
+// X.Seq — where the Seq value does not carry ctrlSeqBit.
+func (s *ShardSafe) checkCtrlSeq(pass *Pass, fd *ast.FuncDecl) {
+	inMint := ctrlMintSites[fd.Name.Name]
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "ctrlSeqBit" && !inMint {
+			if _, isConst := pass.ObjectOf(id).(*types.Const); isConst {
+				pass.Report(id.Pos(),
+					"ctrlSeqBit used outside forwardUpdate — control sequence numbers are minted in one place",
+					"mint control seqs only in forwardUpdate so the reserved bit space stays auditable")
+			}
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		type mint struct {
+			upd bool
+			seq *ast.AssignStmt
+		}
+		byRecv := map[types.Object]*mint{}
+		for _, st := range block.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for i, lhs := range as.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				base, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(base)
+				if obj == nil {
+					continue
+				}
+				m := byRecv[obj]
+				if m == nil {
+					m = &mint{}
+					byRecv[obj] = m
+				}
+				switch sel.Sel.Name {
+				case "Update":
+					if i < len(as.Rhs) && !isNilIdent(as.Rhs[i]) {
+						m.upd = true
+					}
+				case "Seq":
+					m.seq = as
+				}
+			}
+		}
+		for _, m := range byRecv {
+			if m.upd && m.seq != nil && !mentionsCtrlSeqBit(m.seq) {
+				pass.Report(m.seq.Pos(),
+					"control packet minted without ctrlSeqBit: .Update is set but .Seq lacks the reserved bit",
+					"control copies must carry ctrlSeqBit or they collide with the user sequence space (dedup and trace order break)")
+			}
+		}
+		return true
+	})
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func mentionsCtrlSeqBit(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && id.Name == "ctrlSeqBit" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

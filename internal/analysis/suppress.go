@@ -2,14 +2,31 @@ package analysis
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
-// suppression is one parsed "// lint:ignore rule[,rule] reason" directive.
+// suppression is one parsed directive: either
+//
+//	// lint:ignore rule[,rule] reason
+//
+// or the allocation blessing
+//
+//	// lint:alloc reason
+//
+// which is sugar for "lint:ignore allocfree reason" and additionally marks
+// an amortized/cold allocation the allocfree summaries must not propagate.
 type suppression struct {
 	rules  []string
 	reason string
 	line   int
+	alloc  bool // written as lint:alloc
+
+	// used records which of the named rules this directive actually
+	// silenced during the run (a filtered finding, or an effect summary it
+	// blessed). A well-formed directive whose rule ran but silenced
+	// nothing is stale and is itself reported.
+	used map[string]bool
 }
 
 func (s *suppression) covers(rule string) bool {
@@ -32,20 +49,25 @@ func (p *Package) parseSuppressions() {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := ignoreDirective(c.Text)
+				text, alloc, ok := suppressionDirective(c.Text)
 				if !ok {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				s := &suppression{line: pos.Line}
-				fields := strings.Fields(text)
-				if len(fields) > 0 {
-					for _, r := range strings.Split(fields[0], ",") {
-						if r = strings.TrimSpace(r); r != "" {
-							s.rules = append(s.rules, r)
+				s := &suppression{line: pos.Line, alloc: alloc, used: map[string]bool{}}
+				if alloc {
+					s.rules = []string{"allocfree"}
+					s.reason = text
+				} else {
+					fields := strings.Fields(text)
+					if len(fields) > 0 {
+						for _, r := range strings.Split(fields[0], ",") {
+							if r = strings.TrimSpace(r); r != "" {
+								s.rules = append(s.rules, r)
+							}
 						}
+						s.reason = strings.TrimSpace(strings.TrimPrefix(text, fields[0]))
 					}
-					s.reason = strings.TrimSpace(strings.TrimPrefix(text, fields[0]))
 				}
 				byLine := p.suppressions[pos.Filename]
 				if byLine == nil {
@@ -58,22 +80,31 @@ func (p *Package) parseSuppressions() {
 	}
 }
 
-// ignoreDirective extracts the payload of a lint:ignore comment.
-func ignoreDirective(comment string) (string, bool) {
-	text := strings.TrimPrefix(comment, "//")
-	text = strings.TrimSpace(text)
-	if rest, ok := strings.CutPrefix(text, "lint:ignore"); ok {
-		return strings.TrimSpace(rest), true
+// suppressionDirective extracts the payload of a lint:ignore or lint:alloc
+// comment. A longer token that merely shares the prefix — "lint:allocXYZ",
+// say — is neither (the word must end where the payload's space begins).
+func suppressionDirective(comment string) (text string, alloc, ok bool) {
+	t := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if rest, found := strings.CutPrefix(t, "lint:ignore"); found {
+		return strings.TrimSpace(rest), false, true
 	}
-	return "", false
+	if rest, found := strings.CutPrefix(t, "lint:alloc"); found {
+		if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+			return "", false, false // lint:allocfree etc.
+		}
+		return strings.TrimSpace(rest), true, true
+	}
+	return "", false, false
 }
 
 // suppressed reports whether a diagnostic at (filename, line) for rule is
-// covered by a well-formed directive.
+// covered by a well-formed directive, and marks the directive used for
+// that rule when it is.
 func (p *Package) suppressed(rule, filename string, line int) bool {
 	p.parseSuppressions()
 	for _, l := range []int{line, line - 1} {
 		if s := p.suppressions[filename][l]; s != nil && s.reason != "" && s.covers(rule) {
+			s.used[rule] = true
 			return true
 		}
 	}
@@ -91,20 +122,74 @@ func (p *Package) badSuppressions() []Diagnostic {
 			if len(s.rules) > 0 && s.reason != "" {
 				continue
 			}
-			out = append(out, Diagnostic{
-				Rule: "lint",
-				Pos:  token.Position{Filename: filename, Line: s.line, Column: 1},
-				File: p.relPath(filename),
-				Line: s.line,
-				Col:  1,
-				Message: "malformed lint:ignore: need \"lint:ignore <rule>[,<rule>] <reason>\" " +
-					"— a directive without a reason does not suppress",
-				Package:  p.Path,
-				Severity: "error",
-			})
+			msg := "malformed lint:ignore: need \"lint:ignore <rule>[,<rule>] <reason>\" " +
+				"— a directive without a reason does not suppress"
+			if s.alloc {
+				msg = "malformed lint:alloc: need \"lint:alloc <reason>\" " +
+					"— an allocation blessing without a reason does not bless"
+			}
+			out = append(out, p.lintDiag(filename, s.line, msg))
 		}
 	}
 	return out
+}
+
+// staleSuppressions reports well-formed directives that name an unknown
+// rule, or a known rule that ran over the package and silenced nothing at
+// that site. Both mean the directive no longer does what its author
+// believed: the code moved, the rule got more precise, or the name rotted.
+// ranRules is the set of rule names this run executed; a directive naming
+// a rule that did not run is left alone (it may be live under -rules).
+func (p *Package) staleSuppressions(ranRules map[string]bool) []Diagnostic {
+	p.parseSuppressions()
+	known := map[string]bool{}
+	for _, r := range AllRules() {
+		known[r.Name()] = true
+	}
+	var out []Diagnostic
+	for filename, byLine := range p.suppressions {
+		for _, s := range byLine {
+			if len(s.rules) == 0 || s.reason == "" {
+				continue // malformed: badSuppressions owns it
+			}
+			for _, rule := range s.rules {
+				directive := "lint:ignore " + rule
+				if s.alloc {
+					directive = "lint:alloc"
+				}
+				if !known[rule] {
+					out = append(out, p.lintDiag(filename, s.line,
+						"unknown rule "+rule+" in "+directive+" — the directive suppresses nothing"))
+					continue
+				}
+				if ranRules[rule] && !s.used[rule] {
+					out = append(out, p.lintDiag(filename, s.line,
+						"stale "+directive+": "+rule+" no longer fires at this site; delete the directive"))
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// lintDiag builds a pseudo-rule "lint" diagnostic about a directive.
+func (p *Package) lintDiag(filename string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Rule:     "lint",
+		Pos:      token.Position{Filename: filename, Line: line, Column: 1},
+		File:     p.relPath(filename),
+		Line:     line,
+		Col:      1,
+		Message:  msg,
+		Package:  p.Path,
+		Severity: "error",
+	}
 }
 
 // filterSuppressed drops diagnostics covered by a well-formed lint:ignore

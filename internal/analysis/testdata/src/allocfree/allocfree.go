@@ -1,0 +1,100 @@
+// Package allocfree is a linter fixture for the hot-path allocation
+// rule: every marked line must produce exactly the finding in its want
+// comment, and nothing else. The directive below registers the roots;
+// everything statically reachable from them inside the package is hot.
+//
+// lint:hotpath Engine.Step,rootFunc
+package allocfree
+
+import (
+	"math"
+	"strconv"
+)
+
+type item struct {
+	id int
+}
+
+type Engine struct {
+	buf   []int
+	m     map[int]int
+	name  string
+	count int
+}
+
+var last any
+
+// sink boxes value-shaped arguments into its any parameter; the box is
+// charged at each call site, not here (interface-to-interface stores do
+// not allocate).
+func sink(v any) { last = v }
+
+// variadicSink itself is allocation-free; the argument slice is charged
+// at the call site.
+func variadicSink(vs ...int) {
+	for range vs {
+	}
+}
+
+func tick() {}
+
+// Step is a registered hot root: every allocation-bearing construct in
+// it (or reachable from it) is a finding unless blessed.
+func (e *Engine) Step(v int) {
+	e.buf = append(e.buf, v) // want allocfree "append may grow its backing array"
+	e.m = make(map[int]int)  // want allocfree "make(map[int]int)"
+	p := new(item)           // want allocfree "new(allocfree.item)"
+	_ = p
+	it := &item{id: v} // want allocfree "escapes to the heap"
+	_ = it
+	e.m[v] = v                    // want allocfree "map write may grow the table"
+	fn := func() int { return v } // want allocfree "closure capturing v"
+	_ = fn
+	e.name = e.name + "x" // want allocfree "string concatenation"
+	sink(v)               // want allocfree "interface boxing of int"
+	variadicSink(v, v)    // want allocfree "variadic call builds an argument slice"
+	_ = strconv.Itoa(v)   // want allocfree "call to strconv.Itoa cannot be proven allocation-free"
+	e.helper(v)           // want allocfree "call to helper which allocates"
+	go tick()             // want allocfree "go statement"
+
+	// The rest of the body is the negative space: none of these lines
+	// may produce a finding.
+	e.blessedGrow(v)
+	_ = math.Abs(float64(v))     // math is safelisted
+	sink(e)                      // a pointer is pointer-shaped: no box
+	func() { e.count++ }()       // immediately invoked: stack-allocated
+	defer func() { e.count-- }() // directly deferred: stack-allocated
+	// lint:alloc fixture: reasoned amortized growth blessed at the site
+	e.buf = append(e.buf, v)
+	if v < 0 {
+		// Error-message construction on a path that ends the run is
+		// exempt.
+		panic("bad step " + e.name)
+	}
+}
+
+// rootFunc is the second registered root, by plain function name.
+func rootFunc(n int) []byte {
+	s := strconv.Itoa(n) // want allocfree "call to strconv.Itoa cannot be proven allocation-free"
+	return []byte(s)     // want allocfree "conversion copies the string"
+}
+
+// helper allocates, so it is flagged here and its summary taints every
+// hot caller with a witness chain.
+func (e *Engine) helper(n int) {
+	e.buf = append(e.buf, n) // want allocfree "append may grow its backing array"
+}
+
+// blessedGrow's declaration-line blessing covers the whole function and
+// keeps its summary clean, so hot callers are not tainted.
+// lint:alloc fixture: growth is amortized to the high-watermark by design
+func (e *Engine) blessedGrow(n int) {
+	e.buf = append(e.buf, n)
+}
+
+// coldRebuild is not reachable from any root: allocation is free here.
+func (e *Engine) coldRebuild(n int) {
+	e.buf = make([]int, 0, n)
+	e.m = map[int]int{}
+	e.count = len(e.buf) + len(e.m)
+}

@@ -32,12 +32,34 @@ func seeded(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
+// mapToOrderedSlice collects map values and returns them unsorted. Since
+// v2 this is legal at the range — the collect half of the idiom — and the
+// obligation to sort transfers to every caller (Summary.RetMapOrder).
 func mapToOrderedSlice(m map[int]float64) []float64 {
 	var out []float64
-	for _, v := range m { // want detdrift "append to out declared outside the loop"
+	for _, v := range m {
 		out = append(out, v)
 	}
 	return out
+}
+
+// useUnsorted consumes the map-ordered result without laundering it.
+func useUnsorted(m map[int]float64) float64 {
+	vs := mapToOrderedSlice(m) // want detdrift "result of mapToOrderedSlice is in map-iteration order"
+	return vs[0]
+}
+
+// useSorted launders the result through a sort: no finding.
+func useSorted(m map[int]float64) float64 {
+	vs := mapToOrderedSlice(m)
+	sort.Float64s(vs)
+	return vs[0]
+}
+
+// passThrough returns the result onward: the obligation defers to its own
+// callers instead of firing here.
+func passThrough(m map[int]float64) []float64 {
+	return mapToOrderedSlice(m)
 }
 
 // mapKeysSorted is the canonical fix and must not be a finding.
@@ -75,9 +97,24 @@ func mapFloatSum(m map[int]float64) float64 {
 
 func consume(int) {}
 
+// mapFeedsCall passes the key to a summarized callee whose parameter
+// provably never reaches an ordered sink — v2 stays quiet where v1 needed
+// a suppression.
 func mapFeedsCall(m map[int]bool) {
-	for k := range m { // want detdrift "a call to consume with the iteration variable"
+	for k := range m {
 		consume(k)
+	}
+}
+
+// record's parameter flows into formatted output, so its summary marks
+// the position as an ordered sink.
+func record(v int) {
+	fmt.Println(v)
+}
+
+func mapFeedsSink(m map[int]bool) {
+	for k := range m { // want detdrift "a call to record with the iteration variable"
+		record(k)
 	}
 }
 

@@ -1,0 +1,46 @@
+// Package detdrift2 is a linter fixture for the interprocedural half of
+// detdrift: nondeterminism taints this deterministic package through
+// calls into, fields of, and map-ordered results from the helper
+// subpackage. Every marked line must produce exactly the finding in its
+// want comment, and nothing else.
+//
+// lint:deterministic
+package detdrift2
+
+import (
+	"sort"
+
+	"repro/internal/analysis/testdata/src/detdrift2/helper"
+)
+
+func stamp() int64 {
+	return helper.Stamp() // want detdrift "call to Stamp reaches the wall clock"
+}
+
+func roll() int {
+	return helper.Roll() // want detdrift "call to Roll draws from the global math/rand stream"
+}
+
+func readMeta(m helper.Meta) int64 {
+	return m.At // want detdrift "read of field m.At which is assigned a nondeterministic value"
+}
+
+func useUnsortedKeys(m map[int]bool) int {
+	ks := helper.Keys(m) // want detdrift "result of Keys is in map-iteration order and is never sorted"
+	return ks[0]
+}
+
+// useSortedKeys launders the cross-package result through a sort: the
+// collect-then-sort idiom holds across the package boundary.
+func useSortedKeys(m map[int]bool) int {
+	ks := helper.Keys(m)
+	sort.Ints(ks)
+	return ks[0]
+}
+
+// stampOnce shows the interprocedural finding is still suppressible at
+// the call site with a reason.
+func stampOnce() int64 {
+	// lint:ignore detdrift fixture: a single reasoned wall-clock read
+	return helper.Stamp()
+}

@@ -1,0 +1,38 @@
+// Package helper sits OUTSIDE the deterministic set: nothing here is a
+// finding. Its effect summaries and field taints are what the detdrift2
+// fixture package observes interprocedurally.
+package helper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reaches the wall clock; deterministic callers are flagged at
+// their call sites through the effect summary.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Roll draws from the global math/rand stream.
+func Roll() int { return rand.Intn(6) }
+
+// Meta carries a field assigned a nondeterministic value; reads of the
+// field inside the deterministic set are flagged.
+type Meta struct {
+	At int64
+}
+
+func NewMeta() Meta {
+	var m Meta
+	m.At = time.Now().UnixNano()
+	return m
+}
+
+// Keys returns map keys unsorted: callers inherit the obligation to
+// sort (RetMapOrder in the summary).
+func Keys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package flooding is a fixture twin of the real flooding package: the
+// shardsafe rule matches Update by type name and import-path suffix, so
+// the fixture exercises the rule without importing the real engine.
+package flooding
+
+// Update is the routing-update payload shared by pointer across the
+// shard barrier.
+type Update struct {
+	Origin int
+	Seq    uint64
+	Costs  []float64
+}
